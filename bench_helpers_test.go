@@ -1,0 +1,14 @@
+package dpn_test
+
+import (
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/deadlock"
+)
+
+// newMonitor builds the deadlock monitor used by the benchmark
+// harness.
+func newMonitor(n *core.Network) *deadlock.Monitor {
+	return deadlock.New(n, 100*time.Microsecond)
+}

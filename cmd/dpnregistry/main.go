@@ -1,0 +1,33 @@
+// Command dpnregistry runs the name service that maps compute-server
+// names to addresses — the analog of the RMI registry the paper's
+// compute servers announce themselves to (§4.1).
+//
+//	dpnregistry -addr :6999
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpn/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6999", "listen address")
+	flag.Parse()
+	r, err := server.NewRegistry(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpnregistry:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	fmt.Printf("dpnregistry listening on %s\n", r.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dpnregistry: shutting down")
+}

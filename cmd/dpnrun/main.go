@@ -1,0 +1,236 @@
+// Command dpnrun executes the paper's example program graphs locally,
+// or — for the factorization workload — distributed across compute
+// servers.
+//
+//	dpnrun -graph fib -n 20            Figure 2/6: Fibonacci numbers
+//	dpnrun -graph primes -n 25         Figures 7–8: first n primes
+//	dpnrun -graph primes-below -n 100  §3.4: all primes below n
+//	dpnrun -graph hamming -n 20        Figure 12: 2^k·3^m·5^n sequence
+//	dpnrun -graph sqrt -x 2            Figure 11: Newton square root
+//	dpnrun -graph factor -workers 4    §5.2: weak-RSA factorization
+//	    [-servers host:port,host:port] workers on remote compute servers
+//	    [-registry host:port]          resolve servers from a registry
+//	    [-static]                      static instead of dynamic balancing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"dpn/internal/cluster"
+	"dpn/internal/core"
+	"dpn/internal/deadlock"
+	"dpn/internal/factor"
+	"dpn/internal/graphs"
+	"dpn/internal/meta"
+	"dpn/internal/server"
+	"dpn/internal/viz"
+	"dpn/internal/wire"
+)
+
+func main() {
+	var (
+		graph    = flag.String("graph", "fib", "fib | primes | primes-below | hamming | sqrt | factor | cluster")
+		n        = flag.Int64("n", 20, "element count / bound for the chosen graph")
+		x        = flag.Float64("x", 2, "input for -graph sqrt")
+		workers  = flag.Int("workers", 4, "worker count for -graph factor")
+		static   = flag.Bool("static", false, "use static load balancing for -graph factor")
+		servers  = flag.String("servers", "", "comma-separated compute-server addresses for -graph factor")
+		registry = flag.String("registry", "", "registry address to resolve compute servers from")
+		bits     = flag.Int("bits", 256, "prime size for -graph factor")
+		recurse  = flag.Bool("recursive", false, "use the recursive Sift (Figure 7) for -graph primes*")
+		validate = flag.Bool("validate", false, "for -graph factor: print the graph structure and Kahn consistency check before running (§3's front-end consistency checking)")
+		dot      = flag.Bool("dot", false, "for -graph factor: print the program graph in Graphviz DOT format and exit")
+	)
+	flag.Parse()
+
+	switch *graph {
+	case "fib":
+		net := core.NewNetwork()
+		sink := graphs.Fibonacci(net, *n, false)
+		wait(net)
+		for _, v := range sink.Values() {
+			fmt.Println(v)
+		}
+	case "primes":
+		net := core.NewNetwork()
+		sink := graphs.SieveFirstN(net, *n, mode(*recurse))
+		wait(net)
+		for _, v := range sink.Values() {
+			fmt.Println(v)
+		}
+	case "primes-below":
+		net := core.NewNetwork()
+		sink := graphs.SieveBounded(net, *n, mode(*recurse))
+		wait(net)
+		for _, v := range sink.Values() {
+			fmt.Println(v)
+		}
+	case "hamming":
+		net := core.NewNetwork()
+		sink := graphs.Hamming(net, *n, 64)
+		mon := deadlock.New(net, time.Millisecond)
+		mon.Start()
+		wait(net)
+		mon.Stop()
+		for _, v := range sink.Values() {
+			fmt.Println(v)
+		}
+		fmt.Printf("(deadlocks resolved by buffer growth: %d)\n", mon.Resolutions())
+	case "sqrt":
+		net := core.NewNetwork()
+		sink := graphs.Sqrt(net, *x, *x/2)
+		wait(net)
+		for _, v := range sink.Values() {
+			fmt.Printf("sqrt(%g) = %.17g\n", *x, v)
+		}
+	case "factor":
+		runFactor(*bits, *workers, *static, *servers, *registry, *validate, *dot)
+	case "cluster":
+		cfg := cluster.PaperConfig()
+		cluster.WriteTable2(os.Stdout, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "dpnrun: unknown graph %q\n", *graph)
+		os.Exit(2)
+	}
+}
+
+func mode(recursive bool) graphs.SieveMode {
+	if recursive {
+		return graphs.SieveRecursive
+	}
+	return graphs.SieveIterative
+}
+
+func wait(n *core.Network) {
+	if err := n.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "dpnrun:", err)
+		os.Exit(1)
+	}
+}
+
+func runFactor(bits, workers int, static bool, serverList, registryAddr string, validate, dot bool) {
+	key, err := factor.GenerateWeakKey(rand.New(rand.NewSource(time.Now().UnixNano())), bits,
+		int64(workers)*8, factor.DefaultBatch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpnrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("searching for the factors of a %d-bit modulus with %d workers (%s balancing)\n",
+		key.N.BitLen(), workers, balanceName(static))
+
+	var addrs []string
+	if registryAddr != "" {
+		_, regAddrs, err := server.List(registryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpnrun: registry:", err)
+			os.Exit(1)
+		}
+		addrs = regAddrs
+	} else if serverList != "" {
+		addrs = strings.Split(serverList, ",")
+	}
+
+	var node *wire.Node
+	if len(addrs) > 0 {
+		node, err = wire.NewLocalNode("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpnrun:", err)
+			os.Exit(1)
+		}
+		defer node.Close()
+	}
+	net := core.NewNetwork()
+	if node != nil {
+		net = node.Net
+	}
+
+	source := &factor.SearchSpace{N: key.N, Batch: factor.DefaultBatch}
+	var consumer *meta.Consumer
+	var workerProcs []*meta.Worker
+	var graphProcs []any
+	var spawnRest func()
+	if static {
+		st := meta.NewStatic(net, source, workers, 0)
+		consumer = st.Consumer
+		workerProcs = st.Workers
+		graphProcs = []any{st.Producer, st.Scatter, st.Gather, st.Consumer}
+		spawnRest = func() {
+			net.Spawn(st.Producer)
+			net.Spawn(st.Scatter)
+			net.Spawn(st.Gather)
+			net.Spawn(st.Consumer)
+		}
+	} else {
+		dyn := meta.NewDynamic(net, source, workers, 0)
+		consumer = dyn.Consumer
+		workerProcs = dyn.Workers
+		graphProcs = []any{dyn.Producer, dyn.Direct, dyn.Turnstile, dyn.IndexCons, dyn.Select, dyn.Consumer}
+		spawnRest = func() {
+			net.Spawn(dyn.Producer)
+			net.Spawn(dyn.Direct)
+			net.Spawn(dyn.Turnstile)
+			net.Spawn(dyn.IndexCons)
+			net.Spawn(dyn.Select)
+			net.Spawn(dyn.Consumer)
+		}
+	}
+	consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*factor.Result); ok && r.Found {
+			fmt.Printf("found: %s\n", r)
+		}
+	})
+	if validate || dot {
+		all := []any{}
+		for _, w := range workerProcs {
+			all = append(all, w)
+		}
+		all = append(all, graphProcs...)
+		if dot {
+			fmt.Print(viz.DOT(viz.Inspect(all...)))
+			return
+		}
+		fmt.Print(viz.Summary(all...))
+		if v, _ := viz.Validate(all...); len(v) > 0 {
+			fmt.Fprintln(os.Stderr, "dpnrun: graph violates Kahn constraints; refusing to run")
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	if len(addrs) > 0 {
+		// Ship the workers round-robin to the compute servers.
+		for i, w := range workerProcs {
+			addr := addrs[i%len(addrs)]
+			cl, err := server.Dial(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dpnrun: server %s: %v\n", addr, err)
+				os.Exit(1)
+			}
+			if _, err := cl.RunProcs(node, w); err != nil {
+				fmt.Fprintf(os.Stderr, "dpnrun: shipping worker %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			cl.Close()
+			fmt.Printf("worker %d → %s\n", i, addr)
+		}
+	} else {
+		for _, w := range workerProcs {
+			net.Spawn(w)
+		}
+	}
+	spawnRest()
+	wait(net)
+	fmt.Printf("elapsed: %v\n", time.Since(start))
+}
+
+func balanceName(static bool) string {
+	if static {
+		return "static"
+	}
+	return "dynamic"
+}

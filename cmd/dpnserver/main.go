@@ -1,0 +1,62 @@
+// Command dpnserver runs a generic compute server (§4.1): it accepts
+// serialized pieces of process-network program graphs and executes
+// them, re-establishing channel connections automatically. If a
+// registry address is given, the server announces itself there so
+// client applications can locate it by name.
+//
+//	dpnserver -name east -rpc :7000 -broker :7001 -registry host:6999
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpn/internal/server"
+
+	// The paper notes that "the compiled class files for the
+	// application must be available on the local file system of each
+	// server" (§6.2). The Go analog: every process and task type a
+	// client may ship must be compiled into the server binary and
+	// registered with gob. The standard library of processes and the
+	// factorization workload are linked in here; applications with new
+	// task types build their own server binary with the same three
+	// lines plus their packages.
+	_ "dpn/internal/blockcodec"
+	_ "dpn/internal/factor"
+	_ "dpn/internal/proclib"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "dpn", "server name for the registry")
+		rpcAddr  = flag.String("rpc", "127.0.0.1:0", "RPC listen address")
+		broker   = flag.String("broker", "127.0.0.1:0", "channel broker listen address")
+		registry = flag.String("registry", "", "optional registry address to announce to")
+	)
+	flag.Parse()
+
+	s, err := server.New(*name, *rpcAddr, *broker)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpnserver:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	fmt.Printf("dpnserver %q rpc=%s broker=%s\n", s.Name(), s.Addr(), s.BrokerAddr())
+
+	if *registry != "" {
+		if err := server.Register(*registry, *name, s.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "dpnserver: registry:", err)
+			os.Exit(1)
+		}
+		defer server.Unregister(*registry, *name)
+		fmt.Printf("registered with %s as %q\n", *registry, *name)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dpnserver: shutting down")
+}

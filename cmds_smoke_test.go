@@ -1,0 +1,146 @@
+package dpn_test
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral TCP port and returns "127.0.0.1:p".
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never started listening", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCommandsSmoke drives the command-line tools end to end,
+// including a genuinely multi-process distributed factorization: a
+// registry process, two compute-server processes, and a dpnrun client,
+// each a separate OS process communicating over real TCP — the
+// deployment §4 describes, shrunk onto localhost.
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test; skipped with -short")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"dpnbench", "dpnrun", "dpnserver", "dpnregistry"} {
+		out, err := exec.Command("go", "build", "-o", bin+"/"+tool, "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	t.Run("dpnbench-tables", func(t *testing.T) {
+		out, err := exec.Command(bin+"/dpnbench", "-table1", "-table2").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"Table 1", "Table 2", "11.63", "35.9"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("dpnbench-csv", func(t *testing.T) {
+		out, err := exec.Command(bin+"/dpnbench", "-csv").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.HasPrefix(string(out), "workers,ideal_min") {
+			t.Fatalf("csv header missing:\n%.200s", out)
+		}
+	})
+
+	t.Run("dpnrun-local-graphs", func(t *testing.T) {
+		out, err := exec.Command(bin+"/dpnrun", "-graph", "fib", "-n", "12").CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "144") {
+			t.Fatalf("fib: %v\n%s", err, out)
+		}
+		out, err = exec.Command(bin+"/dpnrun", "-graph", "primes", "-n", "12").CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "37") {
+			t.Fatalf("primes: %v\n%s", err, out)
+		}
+		out, err = exec.Command(bin+"/dpnrun", "-graph", "factor", "-workers", "2", "-bits", "128", "-validate").CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "found:") || !strings.Contains(string(out), "processes") {
+			t.Fatalf("factor -validate: %v\n%s", err, out)
+		}
+		out, err = exec.Command(bin+"/dpnrun", "-graph", "factor", "-workers", "2", "-dot").CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "digraph dpn") {
+			t.Fatalf("factor -dot: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("distributed-three-processes", func(t *testing.T) {
+		regAddr := freePort(t)
+		reg := exec.Command(bin+"/dpnregistry", "-addr", regAddr)
+		if err := reg.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer stop(reg)
+		waitListening(t, regAddr)
+
+		var servers []*exec.Cmd
+		for i := 0; i < 2; i++ {
+			rpc := freePort(t)
+			broker := freePort(t)
+			srv := exec.Command(bin+"/dpnserver",
+				"-name", fmt.Sprintf("s%d", i),
+				"-rpc", rpc, "-broker", broker, "-registry", regAddr)
+			if err := srv.Start(); err != nil {
+				t.Fatal(err)
+			}
+			servers = append(servers, srv)
+			waitListening(t, rpc)
+		}
+		defer func() {
+			for _, s := range servers {
+				stop(s)
+			}
+		}()
+
+		out, err := exec.Command(bin+"/dpnrun",
+			"-graph", "factor", "-workers", "4", "-bits", "160",
+			"-registry", regAddr).CombinedOutput()
+		if err != nil {
+			t.Fatalf("distributed factor: %v\n%s", err, out)
+		}
+		for _, want := range []string{"worker 0 →", "worker 3 →", "found:"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+func stop(c *exec.Cmd) {
+	if c.Process != nil {
+		c.Process.Signal(syscall.SIGTERM)
+		c.Wait()
+	}
+}

@@ -1,0 +1,115 @@
+// Factor: the paper's evaluation application (§5.2) end to end — a
+// brute-force search for the factors of a weak RSA modulus
+// N = P×(P+D), distributed across compute servers with dynamic,
+// on-demand load balancing (Figures 17–18).
+//
+// The example is self-contained: it starts the requested number of
+// compute servers in-process (each with its own broker, network, and
+// RPC listener — the same code path `cmd/dpnserver` runs across
+// machines), builds the dynamic composition locally, ships the generic
+// Worker processes to the servers with automatic channel
+// re-establishment (§4.2), and waits for the Result task whose
+// Terminal flag stops the whole distributed graph (§3.4).
+//
+//	go run ./examples/factor [-bits 256] [-workers 4] [-servers 2] [-static]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"dpn/internal/factor"
+	"dpn/internal/meta"
+	"dpn/internal/server"
+	"dpn/internal/wire"
+)
+
+func main() {
+	bits := flag.Int("bits", 256, "prime size in bits (the paper uses 512)")
+	workers := flag.Int("workers", 4, "worker process count")
+	servers := flag.Int("servers", 2, "compute servers to start")
+	static := flag.Bool("static", false, "static (Figure 16) instead of dynamic (Figure 17) balancing")
+	flag.Parse()
+
+	// A weak key whose factor is planted a few dozen tasks into the
+	// search space.
+	key, err := factor.GenerateWeakKey(rand.New(rand.NewSource(time.Now().UnixNano())),
+		*bits, int64(*workers)*8, factor.DefaultBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("N = %s... (%d bits)\n", key.N.String()[:32], key.N.BitLen())
+
+	// Start the compute servers and connect a client to each.
+	clients := make([]*server.Client, *servers)
+	for i := range clients {
+		srv, err := server.New(fmt.Sprintf("server%d", i), "127.0.0.1:0", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		clients[i], err = server.Dial(srv.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer clients[i].Close()
+		fmt.Printf("compute server %q at %s\n", srv.Name(), srv.Addr())
+	}
+
+	// The local node hosts the producer, the distribution machinery,
+	// and the consumer; the workers move out.
+	node, err := wire.NewLocalNode("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	source := &factor.SearchSpace{N: key.N, Batch: factor.DefaultBatch}
+	start := time.Now()
+	var consumer *meta.Consumer
+	if *static {
+		st := meta.NewStatic(node.Net, source, *workers, 0)
+		consumer = st.Consumer
+		shipWorkers(node, clients, st.Workers)
+		node.Net.Spawn(st.Producer)
+		node.Net.Spawn(st.Scatter)
+		node.Net.Spawn(st.Gather)
+		node.Net.Spawn(st.Consumer)
+	} else {
+		dyn := meta.NewDynamic(node.Net, source, *workers, 0)
+		consumer = dyn.Consumer
+		shipWorkers(node, clients, dyn.Workers)
+		node.Net.Spawn(dyn.Producer)
+		node.Net.Spawn(dyn.Direct)
+		node.Net.Spawn(dyn.Turnstile)
+		node.Net.Spawn(dyn.IndexCons)
+		node.Net.Spawn(dyn.Select)
+		node.Net.Spawn(dyn.Consumer)
+	}
+	consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*factor.Result); ok && r.Found {
+			fmt.Printf("FOUND after %d tasks: %s\n", r.Index+1, r)
+		}
+	})
+	if err := node.Net.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("elapsed %v, consumer processed %d result tasks\n",
+		time.Since(start), consumer.Consumed())
+}
+
+// shipWorkers exports each generic Worker process to a compute server,
+// round-robin. The channels feeding and draining each worker are
+// reconnected over TCP automatically as the parcel deserializes.
+func shipWorkers(node *wire.Node, clients []*server.Client, workers []*meta.Worker) {
+	for i, w := range workers {
+		cl := clients[i%len(clients)]
+		if _, err := cl.RunProcs(node, w); err != nil {
+			log.Fatalf("shipping worker %d: %v", i, err)
+		}
+		fmt.Printf("worker %d shipped to server %d\n", i, i%len(clients))
+	}
+}

@@ -1,0 +1,33 @@
+// Fibonacci: the self-feeding program graph of Figures 2 and 6, built
+// from the standard process library — two Cons processes seed the
+// feedback loops, Duplicate fans streams out, and Add combines them.
+// With -selfremove the Cons processes splice themselves out of the
+// graph after delivering their head elements (the run-time
+// reconfiguration of Figures 9–10) without disturbing the sequence.
+//
+//	go run ./examples/fibonacci [-n 20] [-selfremove]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dpn/internal/core"
+	"dpn/internal/graphs"
+)
+
+func main() {
+	n := flag.Int64("n", 20, "how many Fibonacci numbers to produce")
+	selfRemove := flag.Bool("selfremove", false, "Cons processes remove themselves after priming (Figure 9)")
+	flag.Parse()
+
+	net := core.NewNetwork()
+	sink := graphs.Fibonacci(net, *n, *selfRemove)
+	if err := net.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range sink.Values() {
+		fmt.Println(v)
+	}
+}

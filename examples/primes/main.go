@@ -1,0 +1,54 @@
+// Primes: the Sieve of Eratosthenes as a self-modifying process
+// network (Figures 7–8). The Sift process inserts a new Modulo filter
+// into the running graph for every prime it discovers; the inserted
+// process takes over Sift's input channel exactly where Sift left off,
+// so no element is lost or repeated.
+//
+// The example also demonstrates the paper's two termination styles
+// (§3.4):
+//
+//   - "first N primes": the *sink* carries the iteration limit; when it
+//     stops, the poison propagates upstream and every Modulo, the Sift,
+//     and the integer source stop almost immediately.
+//
+//   - "primes below N" (-below): the *source* carries the limit; the
+//     sieve drains all data already in flight before the cascade of
+//     end-of-stream closings reaches the sink, so nothing is computed
+//     in vain.
+//
+//     go run ./examples/primes [-n 25] [-below] [-recursive]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dpn/internal/core"
+	"dpn/internal/graphs"
+)
+
+func main() {
+	n := flag.Int64("n", 25, "prime count (or bound with -below)")
+	below := flag.Bool("below", false, "compute all primes below n instead of the first n")
+	recursive := flag.Bool("recursive", false, "use the recursive Sift of Figure 7 (the process replaces itself) instead of the iterative Sift of Figure 8")
+	flag.Parse()
+
+	mode := graphs.SieveIterative
+	if *recursive {
+		mode = graphs.SieveRecursive
+	}
+	net := core.NewNetwork()
+	var sink interface{ Values() []int64 }
+	if *below {
+		sink = graphs.SieveBounded(net, *n, mode)
+	} else {
+		sink = graphs.SieveFirstN(net, *n, mode)
+	}
+	if err := net.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range sink.Values() {
+		fmt.Println(v)
+	}
+}

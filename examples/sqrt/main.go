@@ -1,0 +1,34 @@
+// Sqrt: Newton's method as a process network with data-dependent
+// termination (Figure 11). The feedback loop refines the estimate
+// r ← (x/r + r)/2; the Equal process watches for the estimate to stop
+// changing at the limits of floating-point precision, and the Guard
+// process then passes exactly one value downstream and stops, tearing
+// the whole network down through cascading channel closings.
+//
+//	go run ./examples/sqrt [-x 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"dpn/internal/core"
+	"dpn/internal/graphs"
+)
+
+func main() {
+	x := flag.Float64("x", 2, "compute the square root of x")
+	flag.Parse()
+
+	net := core.NewNetwork()
+	sink := graphs.Sqrt(net, *x, *x/2)
+	if err := net.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range sink.Values() {
+		fmt.Printf("network sqrt(%g) = %.17g\n", *x, r)
+		fmt.Printf("math.Sqrt(%g)    = %.17g\n", *x, math.Sqrt(*x))
+	}
+}

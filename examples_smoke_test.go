@@ -1,0 +1,55 @@
+package dpn_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every runnable example with small
+// parameters, so the examples cannot rot as the library evolves. Each
+// case checks a fragment of the expected output.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds; skipped with -short")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{"quickstart", []string{"run", "./examples/quickstart"},
+			[]string{"1\n", "100"}},
+		{"fibonacci", []string{"run", "./examples/fibonacci", "-n", "10"},
+			[]string{"55"}},
+		{"fibonacci-selfremove", []string{"run", "./examples/fibonacci", "-n", "10", "-selfremove"},
+			[]string{"55"}},
+		{"primes", []string{"run", "./examples/primes", "-n", "10"},
+			[]string{"29"}},
+		{"primes-below-recursive", []string{"run", "./examples/primes", "-n", "50", "-below", "-recursive"},
+			[]string{"47"}},
+		{"sqrt", []string{"run", "./examples/sqrt", "-x", "9"},
+			[]string{"network sqrt(9) = 3"}},
+		{"hamming", []string{"run", "./examples/hamming", "-n", "20", "-capacity", "16"},
+			[]string{"36", "deadlocks resolved"}},
+		{"factor", []string{"run", "./examples/factor", "-bits", "128", "-workers", "3", "-servers", "2"},
+			[]string{"FOUND after", "elapsed"}},
+		{"imageblocks", []string{"run", "./examples/imageblocks", "-w", "128", "-h", "96", "-workers", "3", "-servers", "1"},
+			[]string{"identical to the reference"}},
+		{"migrate", []string{"run", "./examples/migrate", "-n", "200"},
+			[]string{"migrating the relay", "verified 200 elements in order"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v failed: %v\n%s", tc.args, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

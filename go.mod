@@ -1,0 +1,3 @@
+module dpn
+
+go 1.22

@@ -1,0 +1,185 @@
+package blockcodec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/meta"
+)
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	img := Synthetic(100, 70, 5) // not divisible by 16: edge blocks
+	blocks := Split(img, 16)
+	wantBlocks := ((100 + 15) / 16) * ((70 + 15) / 16)
+	if len(blocks) != wantBlocks {
+		t.Fatalf("got %d blocks, want %d", len(blocks), wantBlocks)
+	}
+	got, err := Assemble(100, 70, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, img.Pix) {
+		t.Fatal("split/assemble corrupted the image")
+	}
+}
+
+func TestSplitAssembleProperty(t *testing.T) {
+	f := func(wSeed, hSeed, bSeed uint8, seed int64) bool {
+		w := int(wSeed)%60 + 1
+		h := int(hSeed)%60 + 1
+		bs := int(bSeed)%20 + 1
+		img := Synthetic(w, h, seed)
+		out, err := Assemble(w, h, Split(img, bs))
+		return err == nil && bytes.Equal(out.Pix, img.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressDecompressIsQuantization(t *testing.T) {
+	img := Synthetic(64, 64, 9)
+	for _, q := range []int{1, 4, 16, 64} {
+		for _, b := range Split(img, 16) {
+			dec, err := Decompress(Compress(b, q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range b.Pix {
+				if dec.Pix[i] != Quantize(b.Pix[i], q) {
+					t.Fatalf("q=%d block %d pixel %d: %d != quantize(%d)",
+						q, b.Index, i, dec.Pix[i], b.Pix[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	img := Synthetic(128, 128, 3)
+	raw, comp := 0, 0
+	for _, b := range Split(img, 16) {
+		c := Compress(b, 16)
+		raw += len(b.Pix)
+		comp += c.CompressedSize()
+	}
+	if comp >= raw {
+		t.Fatalf("no compression: %d >= %d", comp, raw)
+	}
+	t.Logf("ratio: %.2fx (%d → %d bytes)", float64(raw)/float64(comp), raw, comp)
+}
+
+func TestCompressedRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(q8 uint8) bool {
+		q := int(q8)%32 + 1
+		b := Block{Index: 0, W: 16, H: 16, Pix: make([]byte, 256)}
+		rng.Read(b.Pix)
+		dec, err := Decompress(Compress(b, q))
+		if err != nil {
+			return false
+		}
+		for i := range b.Pix {
+			if dec.Pix[i] != Quantize(b.Pix[i], q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(Compressed{W: 2, H: 2, Runs: []byte{1}}); err == nil {
+		t.Fatal("odd run data accepted")
+	}
+	if _, err := Decompress(Compressed{W: 2, H: 2, Runs: []byte{1, 7}}); err == nil {
+		t.Fatal("short decode accepted")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if _, err := Assemble(4, 4, []Block{{X: 3, Y: 0, W: 2, H: 2, Pix: make([]byte, 4)}}); err == nil {
+		t.Fatal("out-of-bounds block accepted")
+	}
+	if _, err := Assemble(4, 4, []Block{{W: 2, H: 2, Pix: make([]byte, 3)}}); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if _, err := Assemble(4, 4, []Block{{W: 2, H: 2, Pix: make([]byte, 4)}}); err == nil {
+		t.Fatal("non-tiling blocks accepted")
+	}
+}
+
+// The §5 experiment end to end: the image compressed through the
+// dynamic parallel composition equals the sequential reference, with
+// results arriving in block order.
+func TestImageThroughDynamicNetwork(t *testing.T) {
+	img := Synthetic(96, 64, 13)
+	const quant = 16
+
+	// Sequential reference.
+	var refBlocks []Block
+	for _, b := range Split(img, 16) {
+		dec, err := Decompress(Compress(b, quant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBlocks = append(refBlocks, dec)
+	}
+	ref, err := Assemble(96, 64, refBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallel run.
+	n := core.NewNetwork()
+	dyn := meta.NewDynamic(n, NewBlockSource(img, 16, quant), 4, 0)
+	var order []int
+	var decoded []Block
+	var decodeErr error
+	dyn.Consumer.SetOnResult(func(ran, result meta.Task) {
+		cb, ok := ran.(*CompressedBlock)
+		if !ok {
+			return
+		}
+		order = append(order, cb.C.Index)
+		dec, err := Decompress(cb.C)
+		if err != nil && decodeErr == nil {
+			decodeErr = err
+		}
+		decoded = append(decoded, dec)
+	})
+	dyn.Spawn(n)
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("image pipeline did not terminate")
+	}
+	if decodeErr != nil {
+		t.Fatal(decodeErr)
+	}
+	// Results in block order (the §5 "written in order" requirement).
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("result %d has block index %d (out of order)", i, idx)
+		}
+	}
+	got, err := Assemble(96, 64, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, ref.Pix) {
+		t.Fatal("parallel result differs from sequential reference")
+	}
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkerSpeedsFastestFirst(t *testing.T) {
+	cfg := PaperConfig()
+	speeds, err := cfg.WorkerSpeeds(cfg.MaxWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(speeds) != 34 {
+		t.Fatalf("cluster has %d CPUs, want 34", len(speeds))
+	}
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] > speeds[i-1]+1e-9 {
+			t.Fatalf("speeds not descending at %d: %v > %v", i, speeds[i], speeds[i-1])
+		}
+	}
+	// First worker is the class-A machine.
+	if math.Abs(speeds[0]-22.50/11.63) > 1e-9 {
+		t.Fatalf("first speed = %v", speeds[0])
+	}
+	if _, err := cfg.WorkerSpeeds(35); err == nil {
+		t.Fatal("overallocation accepted")
+	}
+}
+
+func TestIdealMatchesPaper(t *testing.T) {
+	cfg := PaperConfig()
+	for _, p := range PaperTable2 {
+		got, err := Simulate(cfg, Ideal, p.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Speed-p.IdealSpeed) > 0.06 {
+			t.Errorf("W=%d: ideal speed %.2f, paper %.2f", p.Workers, got.Speed, p.IdealSpeed)
+		}
+		if math.Abs(got.Elapsed-p.IdealTime) > 0.05 {
+			t.Errorf("W=%d: ideal time %.2f, paper %.2f", p.Workers, got.Elapsed, p.IdealTime)
+		}
+	}
+}
+
+// The reproduction bar: simulated static and dynamic runs must land
+// within 10% of every published Table 2 cell.
+func TestTable2WithinTolerance(t *testing.T) {
+	rows, err := Table2(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		p := PaperTable2[i]
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"static time", r.StaticTime, p.StaticTime},
+			{"static speed", r.StaticSpeed, p.StaticSpeed},
+			{"dynamic time", r.DynamicTime, p.DynamicTime},
+			{"dynamic speed", r.DynamicSpeed, p.DynamicSpeed},
+		}
+		for _, c := range checks {
+			rel := math.Abs(c.got-c.want) / c.want
+			if rel > 0.10 {
+				t.Errorf("W=%d %s: got %.3f, paper %.3f (off %.1f%%)",
+					r.Workers, c.name, c.got, c.want, rel*100)
+			}
+		}
+	}
+}
+
+// The headline qualitative claims of §5.2.
+func TestQualitativeShape(t *testing.T) {
+	cfg := PaperConfig()
+
+	// 1. Dynamic beats static at every multi-worker heterogeneous point.
+	for _, w := range []int{8, 16, 32} {
+		st, _ := Simulate(cfg, Static, w)
+		dy, _ := Simulate(cfg, Dynamic, w)
+		if dy.Elapsed >= st.Elapsed {
+			t.Errorf("W=%d: dynamic (%.2f) not faster than static (%.2f)", w, dy.Elapsed, st.Elapsed)
+		}
+	}
+
+	// 2. The static anomaly: adding the first slow CPU (W=7→8) makes
+	// static *slower* — "the elapsed time actually increases and the
+	// speedup decreases".
+	st7, _ := Simulate(cfg, Static, 7)
+	st8, _ := Simulate(cfg, Static, 8)
+	if st8.Elapsed <= st7.Elapsed {
+		t.Errorf("static W=8 (%.2f) should be slower than W=7 (%.2f)", st8.Elapsed, st7.Elapsed)
+	}
+	if st8.Speed >= st7.Speed {
+		t.Errorf("static speedup should drop at W=8: %.2f vs %.2f", st8.Speed, st7.Speed)
+	}
+
+	// 3. Dynamic keeps improving across the same boundary.
+	dy7, _ := Simulate(cfg, Dynamic, 7)
+	dy8, _ := Simulate(cfg, Dynamic, 8)
+	if dy8.Elapsed >= dy7.Elapsed {
+		t.Errorf("dynamic W=8 (%.2f) should beat W=7 (%.2f)", dy8.Elapsed, dy7.Elapsed)
+	}
+
+	// 4. Dynamic stays within its overhead envelope of ideal but never
+	// beats it.
+	for w := 1; w <= cfg.MaxWorkers(); w++ {
+		id, _ := Simulate(cfg, Ideal, w)
+		dy, _ := Simulate(cfg, Dynamic, w)
+		if dy.Elapsed < id.Elapsed {
+			t.Errorf("W=%d: dynamic (%.3f) beats ideal (%.3f)", w, dy.Elapsed, id.Elapsed)
+		}
+	}
+}
+
+func TestDynamicLoadProportionalToSpeed(t *testing.T) {
+	// Faster workers process more tasks; slower workers fewer ("faster
+	// workers end up processing more tasks, slower workers process
+	// fewer tasks").
+	cfg := PaperConfig()
+	res, err := Simulate(cfg, Dynamic, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds, _ := cfg.WorkerSpeeds(32)
+	// Worker 0 (class A, 1.93) must process roughly 1.93/0.80 times the
+	// tasks of a class-E worker.
+	a := float64(res.TasksPerWorker[0])
+	e := float64(res.TasksPerWorker[31])
+	ratio := a / e
+	want := speeds[0] / speeds[31]
+	if math.Abs(ratio-want) > 0.35*want {
+		t.Errorf("task ratio %.2f, want about %.2f", ratio, want)
+	}
+	total := 0
+	for _, n := range res.TasksPerWorker {
+		total += n
+	}
+	if total != cfg.TotalTasks {
+		t.Fatalf("tasks executed %d, want %d", total, cfg.TotalTasks)
+	}
+}
+
+func TestStaticEqualShares(t *testing.T) {
+	cfg := PaperConfig()
+	res, err := Simulate(cfg, Static, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res.TasksPerWorker {
+		if n != cfg.TotalTasks/32 {
+			t.Fatalf("worker %d got %d tasks, want %d", i, n, cfg.TotalTasks/32)
+		}
+	}
+}
+
+func TestInflectionsMatchPaper(t *testing.T) {
+	infl, err := Inflections(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(w int) bool {
+		for _, v := range infl {
+			if v == w {
+				return true
+			}
+		}
+		return false
+	}
+	// "The first occurs when the number of workers increases from 7 to
+	// 8 ... The second ... from 26 to 27."
+	if !has(8) || !has(27) {
+		t.Fatalf("inflections = %v, want to include 8 and 27", infl)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1(PaperConfig())
+	for i, r := range rows {
+		p := PaperTable1[i]
+		if r.TimeMin != p.TimeMin {
+			t.Errorf("class %s time %.2f, paper %.2f", r.Class, r.TimeMin, p.TimeMin)
+		}
+		if math.Abs(r.Speed-p.Speed) > 0.005 {
+			t.Errorf("class %s speed %.3f, paper %.2f", r.Class, r.Speed, p.Speed)
+		}
+	}
+}
+
+// Property: for any homogeneous cluster, static and dynamic are within
+// the overhead gap of each other — heterogeneity is what separates
+// them (the ablation DESIGN.md calls out).
+func TestHomogeneousClusterPolicyTie(t *testing.T) {
+	f := func(wSeed uint8) bool {
+		w := int(wSeed)%16 + 1
+		cfg := Config{
+			Classes:           []Class{{Name: "X", SeqTime: 20, Count: 16}},
+			RefSeqTime:        20,
+			TotalTasks:        320,
+			CommFactorDynamic: 0.05,
+			CommFactorStatic:  0.05,
+			StartupPerWorker:  0.001,
+		}
+		st, err1 := Simulate(cfg, Static, w)
+		dy, err2 := Simulate(cfg, Dynamic, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		rel := math.Abs(st.Elapsed-dy.Elapsed) / st.Elapsed
+		return rel < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more workers never slow the dynamic policy down (modulo
+// startup, which is tiny relative to task time here).
+func TestDynamicMonotoneProperty(t *testing.T) {
+	cfg := PaperConfig()
+	prev := math.Inf(1)
+	for w := 1; w <= cfg.MaxWorkers(); w++ {
+		r, err := Simulate(cfg, Dynamic, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Elapsed > prev*1.02 {
+			t.Fatalf("dynamic time increased at W=%d: %.3f → %.3f", w, prev, r.Elapsed)
+		}
+		prev = r.Elapsed
+	}
+}
+
+func TestWriters(t *testing.T) {
+	cfg := PaperConfig()
+	var sb strings.Builder
+	WriteTable1(&sb, cfg)
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Fatal("table 1 output missing")
+	}
+	sb.Reset()
+	if err := WriteTable2(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Workers") {
+		t.Fatal("table 2 output missing")
+	}
+	sb.Reset()
+	if err := WriteFigure19(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteFigure20(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "inflection") {
+		t.Fatal("figure 20 inflections missing")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Ideal.String() != "ideal" || Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal("unknown policy name wrong")
+	}
+	if _, err := Simulate(PaperConfig(), Policy(9), 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

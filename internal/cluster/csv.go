@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCurvesCSV emits the Figure 19/20 series as CSV (one row per
+// worker count) for external plotting: workers, ideal/static/dynamic
+// elapsed minutes, ideal/static/dynamic normalized speed.
+func WriteCurvesCSV(out io.Writer, cfg Config) error {
+	rows, err := Curves(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "workers,ideal_min,static_min,dynamic_min,ideal_speed,static_speed,dynamic_speed"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(out, "%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			r.Workers, r.IdealTime, r.StaticTime, r.DynamicTime,
+			r.IdealSpeed, r.StaticSpeed, r.DynamicSpeed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable2CSV emits Table 2 (simulated and paper values side by
+// side) as CSV.
+func WriteTable2CSV(out io.Writer, cfg Config) error {
+	rows, err := Table2(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, "workers,sim_ideal_min,sim_static_min,sim_dynamic_min,paper_ideal_min,paper_static_min,paper_dynamic_min"); err != nil {
+		return err
+	}
+	for i, r := range rows {
+		p := PaperTable2[i]
+		if _, err := fmt.Fprintf(out, "%d,%.4f,%.4f,%.4f,%.2f,%.2f,%.2f\n",
+			r.Workers, r.IdealTime, r.StaticTime, r.DynamicTime,
+			p.IdealTime, p.StaticTime, p.DynamicTime); err != nil {
+			return err
+		}
+	}
+	return nil
+}

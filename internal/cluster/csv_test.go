@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCurvesCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCurvesCSV(&sb, PaperConfig()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 35 { // header + 34 worker counts
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workers,ideal_min") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,") || !strings.HasPrefix(lines[34], "34,") {
+		t.Fatalf("rows: %q / %q", lines[1], lines[34])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 6 {
+			t.Fatalf("row %q has %d commas", l, got)
+		}
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTable2CSV(&sb, PaperConfig()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 7 { // header + 6 worker counts
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[6], "32,") {
+		t.Fatalf("last row: %q", lines[6])
+	}
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table1Row is one row of the sequential-execution table.
+type Table1Row struct {
+	Class   string
+	TimeMin float64
+	Speed   float64
+	Desc    string
+}
+
+// Table1 regenerates Table 1: sequential execution time per CPU class
+// and speed normalized to class C.
+func Table1(cfg Config) []Table1Row {
+	rows := make([]Table1Row, 0, len(cfg.Classes))
+	for _, c := range cfg.Classes {
+		rows = append(rows, Table1Row{
+			Class:   c.Name,
+			TimeMin: c.SeqTime,
+			Speed:   c.Speed(cfg.RefSeqTime),
+			Desc:    c.Desc,
+		})
+	}
+	return rows
+}
+
+// Table2Row is one row of the parallel-execution table.
+type Table2Row struct {
+	Workers                   int
+	IdealTime, IdealSpeed     float64
+	StaticTime, StaticSpeed   float64
+	DynamicTime, DynamicSpeed float64
+}
+
+// Table2Workers lists the worker counts of Table 2.
+var Table2Workers = []int{1, 2, 4, 8, 16, 32}
+
+// Table2 regenerates Table 2: elapsed time and normalized speed for
+// ideal, static, and dynamic execution at each worker count.
+func Table2(cfg Config) ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, len(Table2Workers))
+	for _, w := range Table2Workers {
+		row, err := table2Row(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table2Row(cfg Config, w int) (Table2Row, error) {
+	ideal, err := Simulate(cfg, Ideal, w)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	static, err := Simulate(cfg, Static, w)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	dynamic, err := Simulate(cfg, Dynamic, w)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{
+		Workers:      w,
+		IdealTime:    ideal.Elapsed,
+		IdealSpeed:   ideal.Speed,
+		StaticTime:   static.Elapsed,
+		StaticSpeed:  static.Speed,
+		DynamicTime:  dynamic.Elapsed,
+		DynamicSpeed: dynamic.Speed,
+	}, nil
+}
+
+// Curves regenerates the data behind Figures 19 (elapsed time vs
+// workers) and 20 (speedup vs workers) for every worker count from 1
+// to the cluster's capacity.
+func Curves(cfg Config) ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, cfg.MaxWorkers())
+	for w := 1; w <= cfg.MaxWorkers(); w++ {
+		row, err := table2Row(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Inflections finds the worker counts where the marginal ideal-speed
+// gain drops — the two inflection points the paper calls out in
+// Figure 20 (adding the first class-C CPU at W=8 and the first class-E
+// CPU at W=27).
+func Inflections(cfg Config) ([]int, error) {
+	curves, err := Curves(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for i := 1; i < len(curves); i++ {
+		gain := curves[i].IdealSpeed - curves[i-1].IdealSpeed
+		prevGain := math.Inf(1)
+		if i >= 2 {
+			prevGain = curves[i-1].IdealSpeed - curves[i-2].IdealSpeed
+		}
+		if gain < prevGain-1e-9 {
+			out = append(out, curves[i].Workers)
+		}
+	}
+	return out, nil
+}
+
+// PaperTable1 holds the values published in Table 1 (class D's speed
+// is blank in the paper and derived from its time).
+var PaperTable1 = []Table1Row{
+	{Class: "A", TimeMin: 11.63, Speed: 1.93, Desc: "2.4 GHz Pentium 4"},
+	{Class: "B", TimeMin: 13.13, Speed: 1.71, Desc: "2.2 GHz Pentium 4"},
+	{Class: "C", TimeMin: 22.50, Speed: 1.00, Desc: "1.0 GHz Pentium III"},
+	{Class: "D", TimeMin: 22.78, Speed: 0.99, Desc: "(blank in paper)"},
+	{Class: "E", TimeMin: 28.14, Speed: 0.80, Desc: "8 × 700 MHz Pentium III Xeon"},
+}
+
+// PaperTable2 holds the values published in Table 2.
+var PaperTable2 = []Table2Row{
+	{Workers: 1, IdealTime: 11.63, IdealSpeed: 1.93, StaticTime: 12.15, StaticSpeed: 1.85, DynamicTime: 12.39, DynamicSpeed: 1.82},
+	{Workers: 2, IdealTime: 6.17, IdealSpeed: 3.65, StaticTime: 6.93, StaticSpeed: 3.25, DynamicTime: 6.57, DynamicSpeed: 3.43},
+	{Workers: 4, IdealTime: 3.18, IdealSpeed: 7.08, StaticTime: 3.55, StaticSpeed: 6.34, DynamicTime: 3.44, DynamicSpeed: 6.54},
+	{Workers: 8, IdealTime: 1.70, IdealSpeed: 13.22, StaticTime: 3.03, StaticSpeed: 7.42, DynamicTime: 1.87, DynamicSpeed: 12.02},
+	{Workers: 16, IdealTime: 1.06, IdealSpeed: 21.22, StaticTime: 1.63, StaticSpeed: 13.80, DynamicTime: 1.20, DynamicSpeed: 18.73},
+	{Workers: 32, IdealTime: 0.63, IdealSpeed: 35.97, StaticTime: 1.00, StaticSpeed: 22.42, DynamicTime: 0.76, DynamicSpeed: 29.77},
+}
+
+// WriteTable1 prints Table 1 (measured vs paper) to w.
+func WriteTable1(out io.Writer, cfg Config) {
+	fmt.Fprintln(out, "Table 1: Sequential Execution (time in minutes, speed normalized to class C)")
+	fmt.Fprintln(out, "Class   Time   Speed   Paper(Time  Speed)   CPU")
+	for i, r := range Table1(cfg) {
+		p := PaperTable1[i]
+		fmt.Fprintf(out, "%-5s %6.2f  %5.2f       %6.2f  %5.2f    %s\n",
+			r.Class, r.TimeMin, r.Speed, p.TimeMin, p.Speed, r.Desc)
+	}
+}
+
+// WriteTable2 prints Table 2 (simulated vs paper) to w.
+func WriteTable2(out io.Writer, cfg Config) error {
+	rows, err := Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Table 2: Parallel Execution (time in minutes, speed normalized to class C)")
+	fmt.Fprintln(out, "            ----- simulated -----------------   ----- paper ---------------------")
+	fmt.Fprintln(out, "Workers     Ideal      Static     Dynamic       Ideal      Static     Dynamic")
+	for i, r := range rows {
+		p := PaperTable2[i]
+		fmt.Fprintf(out, "%4d    %6.2f/%5.2f %5.2f/%5.2f %5.2f/%5.2f   %5.2f/%5.2f %5.2f/%5.2f %5.2f/%5.2f\n",
+			r.Workers,
+			r.IdealTime, r.IdealSpeed, r.StaticTime, r.StaticSpeed, r.DynamicTime, r.DynamicSpeed,
+			p.IdealTime, p.IdealSpeed, p.StaticTime, p.StaticSpeed, p.DynamicTime, p.DynamicSpeed)
+	}
+	fmt.Fprintln(out, "(each cell is time/speed)")
+	return nil
+}
+
+// WriteFigure19 prints the elapsed-time series of Figure 19.
+func WriteFigure19(out io.Writer, cfg Config) error {
+	rows, err := Curves(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Figure 19: Elapsed time (minutes) vs workers")
+	fmt.Fprintln(out, "Workers   Ideal  Static  Dynamic")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%4d    %7.2f %7.2f %8.2f\n", r.Workers, r.IdealTime, r.StaticTime, r.DynamicTime)
+	}
+	return nil
+}
+
+// WriteFigure20 prints the speedup series of Figure 20, with a crude
+// ASCII rendering so the curve shapes are visible in a terminal.
+func WriteFigure20(out io.Writer, cfg Config) error {
+	rows, err := Curves(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Figure 20: Speedup (normalized to class C) vs workers")
+	fmt.Fprintln(out, "Workers   Ideal  Static  Dynamic")
+	maxSpeed := 0.0
+	for _, r := range rows {
+		maxSpeed = math.Max(maxSpeed, r.IdealSpeed)
+	}
+	for _, r := range rows {
+		bar := int(r.DynamicSpeed / maxSpeed * 40)
+		fmt.Fprintf(out, "%4d    %7.2f %7.2f %8.2f  %s\n",
+			r.Workers, r.IdealSpeed, r.StaticSpeed, r.DynamicSpeed, strings.Repeat("▪", bar))
+	}
+	infl, err := Inflections(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ideal-speed inflection points at workers = %v (paper: 8 and 27)\n", infl)
+	return nil
+}

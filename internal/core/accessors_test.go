@@ -1,0 +1,137 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"dpn/internal/stream"
+)
+
+// envProbe records what its Env exposes.
+type envProbe struct {
+	net  *Network
+	self *Proc
+	ch   *Channel
+}
+
+func (e *envProbe) Run(env *Env) error {
+	e.net = env.Network()
+	e.self = env.Self()
+	e.ch = env.NewChannel("made-by-env", 32)
+	return nil
+}
+
+func TestEnvAccessors(t *testing.T) {
+	n := NewNetwork()
+	probe := &envProbe{}
+	p := n.Spawn(probe)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if probe.net != n {
+		t.Fatal("Env.Network wrong")
+	}
+	if probe.self != p {
+		t.Fatal("Env.Self wrong")
+	}
+	if probe.ch == nil || probe.ch.Name() != "made-by-env" {
+		t.Fatal("Env.NewChannel wrong")
+	}
+	if p.Name() != "envProbe" {
+		t.Fatalf("Proc.Name = %q", p.Name())
+	}
+	if p.Body() != probe {
+		t.Fatal("Proc.Body wrong")
+	}
+	select {
+	case <-p.Done():
+	default:
+		t.Fatal("Done channel not closed after Wait")
+	}
+	n.Wait()
+}
+
+func TestPortStringAndNames(t *testing.T) {
+	ch := NewChannel("x", 8)
+	if !strings.Contains(ch.Reader().String(), "x.r") {
+		t.Fatalf("reader String = %q", ch.Reader().String())
+	}
+	if !strings.Contains(ch.Writer().String(), "x.w") {
+		t.Fatalf("writer String = %q", ch.Writer().String())
+	}
+	r := ch.Reader()
+	r.Detach()
+	if r.Name() == "" {
+		t.Fatal("detached reader has empty name")
+	}
+	var nilR ReadPort
+	if nilR.Name() != "<detached>" || nilR.Channel() != nil {
+		t.Fatal("zero ReadPort accessors wrong")
+	}
+	var nilW WritePort
+	if nilW.Name() != "<detached>" || nilW.Channel() != nil {
+		t.Fatal("zero WritePort accessors wrong")
+	}
+	if nilR.Detach() != nil || nilW.Detach() != nil {
+		t.Fatal("zero port Detach should be nil")
+	}
+}
+
+func TestRetargetSourceAndSink(t *testing.T) {
+	ch := NewChannel("main", 16)
+	alt := stream.NewPipe(16)
+	alt.Write([]byte("alt!"))
+	alt.CloseWrite()
+	if err := ch.Reader().RetargetSource(alt.ReadEnd()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(ch.Reader())
+	if err != nil || string(got) != "alt!" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+
+	sink := stream.NewPipe(16)
+	old, err := ch.Writer().RetargetSink(sink.WriteEnd())
+	if err != nil || old == nil {
+		t.Fatalf("retarget sink: %v", err)
+	}
+	ch.Writer().Write([]byte("zz"))
+	if got := sink.Drain(); string(got) != "zz" {
+		t.Fatalf("sink got %q", got)
+	}
+
+	// Detached ports refuse retargeting.
+	r := NewChannel("d", 8).Reader()
+	r.Detach()
+	if err := r.RetargetSource(alt.ReadEnd()); err != ErrDetached {
+		t.Fatalf("got %v", err)
+	}
+	w := NewChannel("e", 8).Writer()
+	w.Detach()
+	if _, err := w.RetargetSink(sink.WriteEnd()); err != ErrDetached {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNamerOverridesTypeName(t *testing.T) {
+	n := NewNetwork()
+	p := n.Spawn(&namedProc{})
+	p.Wait()
+	if p.Name() != "custom-name" {
+		t.Fatalf("got %q", p.Name())
+	}
+	n.Wait()
+}
+
+type namedProc struct{}
+
+func (p *namedProc) ProcessName() string { return "custom-name" }
+func (p *namedProc) Run(env *Env) error  { return nil }
+
+func TestIterativeZeroMeansUnlimited(t *testing.T) {
+	var it Iterative
+	if it.IterationLimit() != 0 {
+		t.Fatal("zero Iterative should report 0 (unlimited)")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"dpn/internal/stream"
+)
+
+// Channel is a first-in first-out queue connecting exactly one producing
+// process to one consuming process. The byte-oriented transport is a
+// bounded in-memory pipe; the two ends are exposed as a WritePort and a
+// ReadPort. Typed data is layered on top by package token, exactly as
+// the Java implementation layers DataOutputStream over
+// ChannelOutputStream (§3.1).
+type Channel struct {
+	name string
+	pipe *stream.Pipe
+	w    *WritePort
+	r    *ReadPort
+	net  *Network
+}
+
+// NewChannel creates a channel that is not registered with any network.
+// It is useful for unit tests and standalone pipelines; graph programs
+// normally use Network.NewChannel so the deadlock monitor can see the
+// channel.
+func NewChannel(name string, capacity int) *Channel {
+	return newChannel(nil, name, capacity)
+}
+
+func newChannel(n *Network, name string, capacity int) *Channel {
+	pipe := stream.NewPipe(capacity)
+	pipe.SetName(name)
+	ch := &Channel{name: name, pipe: pipe, net: n}
+	ch.w = &WritePort{s: &wstate{
+		name: name + ".w",
+		sw:   stream.NewSwitchWriter(pipe.WriteEnd()),
+		ch:   ch,
+	}}
+	ch.r = &ReadPort{s: &rstate{
+		name: name + ".r",
+		seq:  stream.NewSequenceReader(pipe.ReadEnd()),
+		ch:   ch,
+	}}
+	if n != nil {
+		pipe.SetObserver(n)
+		n.registerChannel(ch)
+	}
+	return ch
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Channel) Name() string { return c.name }
+
+// Writer returns the producing end of the channel.
+func (c *Channel) Writer() *WritePort { return c.w }
+
+// Reader returns the consuming end of the channel.
+func (c *Channel) Reader() *ReadPort { return c.r }
+
+// Pipe exposes the underlying bounded buffer for capacity management and
+// introspection (deadlock detection, migration).
+func (c *Channel) Pipe() *stream.Pipe { return c.pipe }
+
+// Network returns the network the channel is registered with, or nil.
+func (c *Channel) Network() *Network { return c.net }

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"dpn/internal/stream"
+)
+
+// ProcState describes what a process goroutine is currently doing. It is
+// exported for the deadlock monitor and for diagnostics.
+type ProcState int32
+
+const (
+	// StateRunning means the process is computing (or about to block).
+	StateRunning ProcState = iota
+	// StateDone means the process has finished.
+	StateDone
+)
+
+// Proc is a handle to one running process.
+type Proc struct {
+	name    string
+	body    any
+	net     *Network
+	done    chan struct{}
+	err     error
+	state   atomic.Int32
+	park    *parkState
+	ejected bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Body returns the process value being executed.
+func (p *Proc) Body() any { return p.body }
+
+// Wait blocks until the process has finished and returns its error, if
+// any. Termination errors (IsTermination) are not reported as failures.
+func (p *Proc) Wait() error {
+	<-p.done
+	return p.err
+}
+
+// Done returns a channel closed when the process finishes.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Network is the execution context for a process-network program graph:
+// it tracks running processes and registered channels, provides the
+// bookkeeping the deadlock monitor needs, and lets callers wait for the
+// whole graph to terminate. Processes may spawn further processes at any
+// time (self-modifying graphs, §3.3).
+type Network struct {
+	mu       sync.Mutex
+	procs    map[*Proc]struct{}
+	channels []*Channel
+	errs     []error
+
+	wg         sync.WaitGroup
+	live       atomic.Int64
+	blocked    atomic.Int64
+	generation atomic.Uint64
+
+	defaultCap int
+	chanSeq    atomic.Int64
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDefaultCapacity sets the buffer capacity used by NewChannel when
+// the caller passes a non-positive capacity.
+func WithDefaultCapacity(c int) Option {
+	return func(n *Network) { n.defaultCap = c }
+}
+
+// NewNetwork creates an empty execution context.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		procs:      make(map[*Proc]struct{}),
+		defaultCap: stream.DefaultCapacity,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// NewChannel creates a channel registered with the network. A
+// non-positive capacity selects the network's default.
+func (n *Network) NewChannel(name string, capacity int) *Channel {
+	if capacity <= 0 {
+		capacity = n.defaultCap
+	}
+	if name == "" {
+		name = fmt.Sprintf("ch%d", n.chanSeq.Add(1))
+	}
+	return newChannel(n, name, capacity)
+}
+
+func (n *Network) registerChannel(c *Channel) {
+	n.mu.Lock()
+	n.channels = append(n.channels, c)
+	n.mu.Unlock()
+	n.generation.Add(1)
+}
+
+// Channels returns a snapshot of the registered channels.
+func (n *Network) Channels() []*Channel {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Channel, len(n.channels))
+	copy(out, n.channels)
+	return out
+}
+
+// Spawn starts p (a Process or Stepper) in its own goroutine — "each
+// process executes in its own thread" (§3.2) — and returns its handle.
+// When the body returns, every port the process holds is closed,
+// propagating termination through the graph.
+func (n *Network) Spawn(p any) *Proc {
+	proc := &Proc{name: nameOf(p), body: p, net: n, done: make(chan struct{})}
+	if _, isProcess := p.(Process); !isProcess {
+		if _, isStepper := p.(Stepper); isStepper {
+			proc.park = newParkState()
+		}
+	}
+	n.mu.Lock()
+	n.procs[proc] = struct{}{}
+	n.mu.Unlock()
+	n.wg.Add(1)
+	n.live.Add(1)
+	n.generation.Add(1)
+	go func() {
+		defer n.finish(proc)
+		env := &Env{net: n, proc: proc}
+		err := runBody(p, env)
+		switch {
+		case errors.Is(err, errEjected):
+			proc.ejected = true
+		case err != nil && !IsTermination(err):
+			proc.err = fmt.Errorf("process %s: %w", proc.name, err)
+		}
+	}()
+	return proc
+}
+
+func (n *Network) finish(proc *Proc) {
+	// An ejected process keeps its ports open: it is leaving this
+	// goroutine to continue elsewhere (§6.1 migration). Every other
+	// exit closes the ports, propagating termination (§3.4).
+	if !proc.ejected {
+		for _, c := range PortsOf(proc.body) {
+			c.Close()
+		}
+	}
+	if proc.park != nil {
+		proc.park.markFinished()
+	}
+	proc.state.Store(int32(StateDone))
+	if proc.err != nil {
+		n.mu.Lock()
+		n.errs = append(n.errs, proc.err)
+		n.mu.Unlock()
+	}
+	n.live.Add(-1)
+	n.generation.Add(1)
+	close(proc.done)
+	n.wg.Done()
+}
+
+// Wait blocks until every spawned process (including ones spawned during
+// execution) has finished. It returns the first recorded failure, if
+// any.
+func (n *Network) Wait() error {
+	n.wg.Wait()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.errs) > 0 {
+		return n.errs[0]
+	}
+	return nil
+}
+
+// Errors returns all recorded process failures.
+func (n *Network) Errors() []error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]error, len(n.errs))
+	copy(out, n.errs)
+	return out
+}
+
+// Live reports the number of processes currently executing.
+func (n *Network) Live() int64 { return n.live.Load() }
+
+// Blocked reports the number of goroutines currently blocked inside a
+// registered channel's pipe (reading an empty buffer or writing a full
+// one).
+func (n *Network) Blocked() int64 { return n.blocked.Load() }
+
+// Generation returns a counter bumped on every scheduling-relevant state
+// change. The deadlock monitor uses it to take stable snapshots.
+func (n *Network) Generation() uint64 { return n.generation.Load() }
+
+// Network implements stream.Observer so registered pipes report blocking
+// transitions.
+
+// PipeBlocked implements stream.Observer.
+func (n *Network) PipeBlocked(*stream.Pipe, bool) {
+	n.blocked.Add(1)
+	n.generation.Add(1)
+}
+
+// PipeUnblocked implements stream.Observer.
+func (n *Network) PipeUnblocked(*stream.Pipe, bool) {
+	n.blocked.Add(-1)
+	n.generation.Add(1)
+}
+
+// PipeEvent implements stream.Observer.
+func (n *Network) PipeEvent(*stream.Pipe) {
+	n.generation.Add(1)
+}
+
+// Env is passed to every process body. It gives a process access to its
+// execution context so that self-modifying graphs can create channels
+// and spawn processes at run time — reconfiguration is initiated by
+// processes, not by an external agent, preserving determinism (§3.3).
+type Env struct {
+	net  *Network
+	proc *Proc
+}
+
+// Network returns the executing network.
+func (e *Env) Network() *Network { return e.net }
+
+// Self returns the handle of the calling process.
+func (e *Env) Self() *Proc { return e.proc }
+
+// Spawn starts a new process in the same network.
+func (e *Env) Spawn(p any) *Proc { return e.net.Spawn(p) }
+
+// NewChannel creates a channel in the same network.
+func (e *Env) NewChannel(name string, capacity int) *Channel {
+	return e.net.NewChannel(name, capacity)
+}
+
+// Composite groups processes so they can be treated — and in particular
+// serialized and shipped to a compute server — as a unit. Running a
+// composite starts every component in its own goroutine and waits for
+// all of them: executing components' steps in sequence could introduce
+// deadlock, so a separate thread of control per component is retained
+// (§3.2).
+type Composite struct {
+	Name string
+	// Procs are the component processes (each a Process or Stepper).
+	Procs []any
+}
+
+// Add appends a component process and returns the composite for
+// chaining, echoing the CompositeProcess.add API in Figure 6.
+func (c *Composite) Add(p any) *Composite {
+	c.Procs = append(c.Procs, p)
+	return c
+}
+
+// ProcessName implements Namer.
+func (c *Composite) ProcessName() string {
+	if c.Name != "" {
+		return "Composite(" + c.Name + ")"
+	}
+	return "Composite"
+}
+
+// Run implements Process.
+func (c *Composite) Run(env *Env) error {
+	procs := make([]*Proc, 0, len(c.Procs))
+	for _, p := range c.Procs {
+		procs = append(procs, env.Spawn(p))
+	}
+	var first error
+	for _, p := range procs {
+		if err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ports implements PortHolder: a composite owns no ports itself; its
+// components close their own.
+func (c *Composite) Ports() []io.Closer { return nil }

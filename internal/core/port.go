@@ -1,0 +1,192 @@
+// Package core implements the Kahn-process-network runtime: channels
+// (FIFO byte queues with blocking reads and writes), processes (one
+// goroutine each), composite processes, a network execution context, and
+// graph reconfiguration primitives. It is the Go port of the runtime
+// described in "Distributed Process Networks in Java" (Parks, Roberts,
+// Millman; IPPS 2003).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dpn/internal/stream"
+)
+
+// ErrDetached is returned by operations on a port whose transport has
+// been handed to another process or to the migration machinery.
+var ErrDetached = errors.New("core: port detached")
+
+// rstate is the shared state behind one or more *ReadPort handles. Ports
+// are a single pointer to their state so that gob decoding can rebind a
+// freshly allocated port to reconstructed state without copying locks.
+type rstate struct {
+	name string
+	seq  *stream.SequenceReader
+	ch   *Channel // nil when the port is not attached to a local channel
+}
+
+// ReadPort is the consuming end of a channel. It corresponds to the
+// paper's ChannelInputStream: reads block until data is available, and
+// the port contains a sequence reader so that upstream processes can
+// splice themselves out of the graph without losing data (§3.3).
+type ReadPort struct {
+	s *rstate
+}
+
+// Read fills b with at least one byte, blocking as required by Kahn
+// semantics. It returns io.EOF after the producing side has closed and
+// all data has drained.
+func (p *ReadPort) Read(b []byte) (int, error) {
+	if p.s == nil || p.s.seq == nil {
+		return 0, ErrDetached
+	}
+	return p.s.seq.Read(b)
+}
+
+// Close closes the consuming end. The producing process observes
+// stream.ErrReadClosed on its next write, propagating termination
+// upstream (§3.4).
+func (p *ReadPort) Close() error {
+	if p.s == nil || p.s.seq == nil {
+		return nil
+	}
+	return p.s.seq.Close()
+}
+
+// Channel returns the local channel this port belongs to, or nil if the
+// port is detached or fed by a remote transport.
+func (p *ReadPort) Channel() *Channel {
+	if p.s == nil {
+		return nil
+	}
+	return p.s.ch
+}
+
+// Name returns the diagnostic port name.
+func (p *ReadPort) Name() string {
+	if p.s == nil {
+		return "<detached>"
+	}
+	return p.s.name
+}
+
+// Detach removes and returns the port's byte source. Subsequent reads
+// fail with ErrDetached and Close becomes a no-op, so a terminating
+// process cannot poison a stream it has handed to its consumer. Detach
+// is the first half of a splice-out (Figure 10 of the paper).
+func (p *ReadPort) Detach() io.ReadCloser {
+	if p.s == nil {
+		return nil
+	}
+	seq := p.s.seq
+	p.s = &rstate{name: p.s.name + "<detached>"}
+	return seq
+}
+
+// appendSource splices an additional byte source after the port's
+// current contents. Used by SpliceOut.
+func (p *ReadPort) appendSource(src io.ReadCloser) error {
+	if p.s == nil || p.s.seq == nil {
+		return ErrDetached
+	}
+	p.s.seq.Append(src)
+	return nil
+}
+
+// RetargetSource replaces the port's transport wholesale, closing the
+// displaced one. Used when a migrated process's channel is reconnected
+// over the network.
+func (p *ReadPort) RetargetSource(src io.ReadCloser) error {
+	if p.s == nil || p.s.seq == nil {
+		return ErrDetached
+	}
+	p.s.seq.Retarget(src)
+	return nil
+}
+
+func (p *ReadPort) String() string { return fmt.Sprintf("ReadPort(%s)", p.Name()) }
+
+// wstate is the shared state behind a *WritePort handle.
+type wstate struct {
+	name string
+	sw   *stream.SwitchWriter
+	ch   *Channel
+}
+
+// WritePort is the producing end of a channel, corresponding to the
+// paper's ChannelOutputStream. Writes block while the channel buffer is
+// full (§3.5: bounded channels give fair scheduling).
+type WritePort struct {
+	s *wstate
+}
+
+// Write appends b to the channel, blocking while the buffer is full.
+// After the consuming end closes, Write fails with stream.ErrReadClosed.
+func (p *WritePort) Write(b []byte) (int, error) {
+	if p.s == nil || p.s.sw == nil {
+		return 0, ErrDetached
+	}
+	return p.s.sw.Write(b)
+}
+
+// Close closes the producing end. The consumer drains buffered data and
+// then observes io.EOF.
+func (p *WritePort) Close() error {
+	if p.s == nil || p.s.sw == nil {
+		return nil
+	}
+	return p.s.sw.Close()
+}
+
+// Channel returns the local channel this port belongs to, or nil.
+func (p *WritePort) Channel() *Channel {
+	if p.s == nil {
+		return nil
+	}
+	return p.s.ch
+}
+
+// Name returns the diagnostic port name.
+func (p *WritePort) Name() string {
+	if p.s == nil {
+		return "<detached>"
+	}
+	return p.s.name
+}
+
+// Detach removes and returns the port's sink. Subsequent writes fail
+// with ErrDetached and Close becomes a no-op.
+func (p *WritePort) Detach() io.WriteCloser {
+	if p.s == nil {
+		return nil
+	}
+	sw := p.s.sw
+	p.s = &wstate{name: p.s.name + "<detached>"}
+	return sw
+}
+
+// RetargetSink replaces the port's sink, returning the displaced one.
+func (p *WritePort) RetargetSink(w io.WriteCloser) (io.WriteCloser, error) {
+	if p.s == nil || p.s.sw == nil {
+		return nil, ErrDetached
+	}
+	return p.s.sw.Retarget(w), nil
+}
+
+func (p *WritePort) String() string { return fmt.Sprintf("WritePort(%s)", p.Name()) }
+
+// IsTermination reports whether err is one of the benign stream-shutdown
+// conditions that terminate a process normally, mirroring the Java
+// implementation's treatment of IOException in IterativeProcess.run
+// (Figure 4 of the paper): end of input, poisoned output, or a channel
+// torn down mid-element during cascade shutdown.
+func IsTermination(err error) bool {
+	return err != nil && (errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, stream.ErrReadClosed) ||
+		errors.Is(err, stream.ErrWriteClosed) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, ErrDetached))
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+)
+
+// SpliceOut removes the calling process from the program graph by
+// splicing its input channel onto the front of its consumer's pending
+// input, exactly as in Figure 10 of the paper: the process's input
+// stream is appended to the SequenceReader inside the consumer's read
+// port, and the process's output is then closed. The consumer drains
+// whatever the process had already produced, observes the end of that
+// stream, and continues seamlessly with the data the process would have
+// copied — no data element is lost or duplicated.
+//
+// After SpliceOut returns, in is detached (reads fail, Close is a
+// no-op) and out is closed; the process should return from its body.
+// SpliceOut must be called by the process that owns both ports — graph
+// reconfiguration is initiated by processes, never by an external
+// agent, which is what preserves determinism (§3.3).
+func SpliceOut(in *ReadPort, out *WritePort) error {
+	if in == nil || out == nil {
+		return errors.New("core: SpliceOut requires both ports")
+	}
+	ch := out.Channel()
+	if ch == nil {
+		return errors.New("core: SpliceOut requires a local output channel")
+	}
+	src := in.Detach()
+	if src == nil {
+		return ErrDetached
+	}
+	// Order matters: the continuation must be queued before the output
+	// closes, so the consumer can never observe a spurious end of
+	// stream.
+	if err := ch.Reader().appendSource(src); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// InsertUpstream inserts a newly created process between the caller and
+// its current input, as the Sift process does when it encounters a new
+// prime (Figures 7–8 of the paper). It implements the port shuffle of
+// Figure 8:
+//
+//	the caller's current input port is handed to the new process, a
+//	fresh channel is created, the new process writes to it, and the
+//	caller reads from it from then on.
+//
+// attach is called with (handedOffInput, freshChannelWriter) and must
+// store both ports into the new process before it is spawned. The
+// returned read port becomes the caller's new input; the caller is
+// responsible for assigning it to its own field. The new process is
+// spawned by the caller via env.Spawn after attach wiring, keeping the
+// reconfiguration entirely under the initiating process's control.
+func InsertUpstream(env *Env, in *ReadPort, name string, capacity int,
+	attach func(handedOff *ReadPort, out *WritePort)) *ReadPort {
+	ch := env.NewChannel(name, capacity)
+	attach(in, ch.Writer())
+	return ch.Reader()
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpn/internal/token"
+)
+
+// ticker counts steps; each step writes one element. The counter is
+// atomic because tests observe it while the process runs.
+type ticker struct {
+	Out *WritePort
+	N   atomic.Int64
+}
+
+func (t *ticker) Step(env *Env) error {
+	n := t.N.Add(1)
+	// Throttle so an undrained test channel never fills mid-step.
+	time.Sleep(20 * time.Microsecond)
+	return token.NewWriter(t.Out).WriteInt64(n)
+}
+
+// drain consumes int64 elements forever (until EOF/poison).
+type drain struct {
+	In *ReadPort
+}
+
+func (d *drain) Step(env *Env) error {
+	_, err := token.NewReader(d.In).ReadInt64()
+	return err
+}
+
+func TestSuspendParksAtStepBoundary(t *testing.T) {
+	n := NewNetwork()
+	ch := n.NewChannel("c", 1<<16)
+	tk := &ticker{Out: ch.Writer()}
+	p := n.Spawn(tk)
+	n.Spawn(&drain{In: ch.Reader()})
+	time.Sleep(5 * time.Millisecond)
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Suspended() {
+		t.Fatal("not parked after Suspend returned")
+	}
+	// While parked the process performs no work.
+	before := tk.N.Load()
+	time.Sleep(10 * time.Millisecond)
+	if tk.N.Load() != before {
+		t.Fatalf("process advanced while parked: %d → %d", before, tk.N.Load())
+	}
+	if err := p.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tk.N.Load() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("process did not resume")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ch.Reader().Close() // poison to end the run
+	n.Wait()
+}
+
+func TestSuspendTwiceAndResumeCycle(t *testing.T) {
+	n := NewNetwork()
+	ch := n.NewChannel("c", 1<<16)
+	tk := &ticker{Out: ch.Writer()}
+	p := n.Spawn(tk)
+	n.Spawn(&drain{In: ch.Reader()})
+	for i := 0; i < 3; i++ {
+		if err := p.Suspend(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := p.Resume(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	ch.Reader().Close()
+	n.Wait()
+}
+
+func TestEjectLeavesPortsOpen(t *testing.T) {
+	n := NewNetwork()
+	ch := n.NewChannel("c", 1<<16)
+	tk := &ticker{Out: ch.Writer()}
+	p := n.Spawn(tk)
+	time.Sleep(2 * time.Millisecond)
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	body, err := p.Eject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != tk {
+		t.Fatal("Eject returned wrong body")
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("ejected proc reported error: %v", err)
+	}
+	// The channel is NOT closed: the writer port must still work.
+	if _, err := tk.Out.Write([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatalf("port closed by ejection: %v", err)
+	}
+	// Respawning the body continues the stream.
+	count := tk.N.Load()
+	p2 := n.Spawn(tk)
+	deadline := time.Now().Add(2 * time.Second)
+	for tk.N.Load() == count {
+		if time.Now().After(deadline) {
+			t.Fatal("respawned process did not run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = p2
+	ch.Reader().Close()
+	n.Wait()
+}
+
+func TestEjectedStreamIsContiguous(t *testing.T) {
+	// Values produced before ejection and after respawn form one
+	// contiguous sequence: no element lost or duplicated.
+	n := NewNetwork()
+	ch := n.NewChannel("c", 1<<20)
+	tk := &ticker{Out: ch.Writer()}
+	p := n.Spawn(tk)
+	time.Sleep(2 * time.Millisecond)
+	if err := p.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	body, err := p.Eject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Spawn(body)
+	time.Sleep(2 * time.Millisecond)
+	ch.Writer().Close() // cheat: stop by closing (the producer errors out)
+	r := token.NewReader(ch.Reader())
+	var prev int64
+	for {
+		v, err := r.ReadInt64()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != prev+1 {
+			t.Fatalf("gap in stream: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if prev == 0 {
+		t.Fatal("no elements produced")
+	}
+	ch.Reader().Close()
+	n.Wait()
+}
+
+func TestSuspendErrors(t *testing.T) {
+	n := NewNetwork()
+	// Resume/Eject without suspension.
+	ch := n.NewChannel("c", 1<<16)
+	p := n.Spawn(&ticker{Out: ch.Writer()})
+	if err := p.Resume(); err != ErrNotParked {
+		t.Fatalf("Resume unparked = %v", err)
+	}
+	if _, err := p.Eject(); err != ErrNotParked {
+		t.Fatalf("Eject unparked = %v", err)
+	}
+	ch.Reader().Close()
+	n.Wait()
+
+	// Suspend after the process finished.
+	fin := n.Spawn(&oneShot{})
+	fin.Wait()
+	if err := fin.Suspend(); err != ErrFinished {
+		t.Fatalf("Suspend finished = %v", err)
+	}
+
+	// Run-style processes are not suspendable.
+	rp := n.Spawn(&runOnly{})
+	rp.Wait()
+	if err := rp.Suspend(); err != ErrNotSuspendable {
+		t.Fatalf("Suspend Run-style = %v", err)
+	}
+	if !rp.Suspended() == false {
+		t.Fatal("Suspended on run-style should be false")
+	}
+	n.Wait()
+}
+
+type oneShot struct{}
+
+func (o *oneShot) Step(env *Env) error { return io.EOF }
+
+type runOnly struct{}
+
+func (r *runOnly) Run(env *Env) error { return nil }
+
+func TestSuspendBlockedProcessParksOnData(t *testing.T) {
+	// A consumer blocked on an empty channel parks as soon as the
+	// in-flight step completes.
+	n := NewNetwork()
+	ch := n.NewChannel("c", 64)
+	sk := &sink{In: ch.Reader()}
+	p := n.Spawn(sk)
+	time.Sleep(5 * time.Millisecond) // consumer is now blocked reading
+
+	suspended := make(chan error, 1)
+	go func() { suspended <- p.Suspend() }()
+	select {
+	case <-suspended:
+		t.Fatal("suspend completed while process blocked mid-step")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Feed one element: the step completes and the process parks.
+	token.NewWriter(ch.Writer()).WriteInt64(7)
+	if err := <-suspended; err != nil {
+		t.Fatal(err)
+	}
+	p.Resume()
+	ch.Writer().Close()
+	n.Wait()
+	if got := sk.values(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}

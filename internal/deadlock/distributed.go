@@ -1,0 +1,229 @@
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the distributed half of the paper's buffer
+// management, listed as future work in §6.2 ("Another problem to be
+// addressed is that of distributed deadlock detection"): when a
+// program graph spans several nodes, no single network's counters can
+// see the whole picture, so a coordinator polls every node and decides
+// globally.
+//
+// Detection is a conservative quiescence test. A node snapshot carries
+// its scheduling generation counter (bumped by every channel event on
+// that node) and its broker byte counters (bumped by every byte that
+// enters or leaves the node). If two successive polls, separated by a
+// settle delay, observe identical counters on every node, then no
+// process ran, no channel moved data, and no byte was in flight on any
+// link — the distributed graph is quiescent. If some channel is then
+// full with a blocked writer, the deadlock is artificial and the
+// globally smallest such channel is grown (Parks' rule); if not, a
+// true deadlock is reported.
+//
+// The test is heuristic in one direction only: a compute-bound graph
+// that touches no channel during the settle window looks quiescent.
+// That can cause a spurious growth — which is harmless, since growing
+// a bounded channel never changes what a Kahn network computes — or a
+// spurious true-deadlock report, which is why the coordinator reports
+// rather than kills.
+
+// ChannelRef identifies one growable channel on a peer.
+type ChannelRef struct {
+	Name string
+	Cap  int
+}
+
+// NodeStatus is one node's scheduling snapshot.
+type NodeStatus struct {
+	Live       int64
+	Blocked    int64
+	Generation uint64
+	BytesIn    int64
+	BytesOut   int64
+	// WakePending reports that some blocked party on the node has been
+	// signaled but not rescheduled — the node is still running.
+	WakePending bool
+	// FullChannels lists channels that are full with at least one
+	// blocked writer.
+	FullChannels []ChannelRef
+}
+
+// Peer is one node as seen by the coordinator. Implementations:
+// wire.Node (in-process) and server.Client (remote, over the compute
+// server RPC).
+type Peer interface {
+	// DeadlockStatus returns the node's snapshot.
+	DeadlockStatus() (NodeStatus, error)
+	// GrowChannel grows the named channel and returns the resulting
+	// capacity.
+	GrowChannel(name string, newCap int) (int, error)
+}
+
+// Coordinator performs distributed deadlock detection and resolution
+// across a set of peers.
+type Coordinator struct {
+	Peers []Peer
+	// Settle is the delay between the two quiescence polls.
+	Settle time.Duration
+	// Poll is the interval between detection rounds when running in the
+	// background.
+	Poll time.Duration
+	// GrowthFactor multiplies a grown channel's capacity (default 2).
+	GrowthFactor int
+	// MaxCapacity bounds growth; 0 means unbounded.
+	MaxCapacity int
+	// OnEvent, if set, observes resolutions and true-deadlock reports.
+	OnEvent func(Event)
+
+	stop chan struct{}
+	done chan struct{}
+
+	resolutions atomic.Int64
+}
+
+// NewCoordinator builds a coordinator over the given peers.
+func NewCoordinator(peers ...Peer) *Coordinator {
+	return &Coordinator{
+		Peers:        peers,
+		Settle:       2 * time.Millisecond,
+		Poll:         5 * time.Millisecond,
+		GrowthFactor: 2,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// Resolutions counts the artificial deadlocks resolved so far.
+func (c *Coordinator) Resolutions() int { return int(c.resolutions.Load()) }
+
+// Start launches background detection; Stop ends it.
+func (c *Coordinator) Start() { go c.loop() }
+
+// Stop terminates the background loop and waits for it.
+func (c *Coordinator) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+func (c *Coordinator) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		st, err := c.Check()
+		if err != nil {
+			continue // a peer hiccup is not fatal; retry next round
+		}
+		if st == StatusTerminated {
+			return
+		}
+	}
+}
+
+type peerSnapshot struct {
+	status NodeStatus
+	err    error
+}
+
+func (c *Coordinator) snapshot() ([]peerSnapshot, error) {
+	out := make([]peerSnapshot, len(c.Peers))
+	for i, p := range c.Peers {
+		out[i].status, out[i].err = p.DeadlockStatus()
+		if out[i].err != nil {
+			return nil, fmt.Errorf("deadlock: peer %d: %w", i, out[i].err)
+		}
+	}
+	return out, nil
+}
+
+// Check performs one global detection round.
+func (c *Coordinator) Check() (Status, error) {
+	s1, err := c.snapshot()
+	if err != nil {
+		return StatusRunning, err
+	}
+	var live, blocked int64
+	for _, s := range s1 {
+		live += s.status.Live
+		blocked += s.status.Blocked
+	}
+	if live == 0 {
+		return StatusTerminated, nil
+	}
+	if blocked == 0 {
+		return StatusRunning, nil
+	}
+	// Quiescence test: nothing may move during the settle window.
+	time.Sleep(c.Settle)
+	s2, err := c.snapshot()
+	if err != nil {
+		return StatusRunning, err
+	}
+	for i := range s1 {
+		a, b := s1[i].status, s2[i].status
+		if a.Generation != b.Generation || a.BytesIn != b.BytesIn || a.BytesOut != b.BytesOut ||
+			a.Live != b.Live || a.Blocked != b.Blocked || b.WakePending {
+			return StatusRunning, nil
+		}
+	}
+	// Quiescent. Gather full write-blocked channels globally.
+	type cand struct {
+		peer int
+		ref  ChannelRef
+	}
+	var full []cand
+	for i, s := range s2 {
+		for _, ref := range s.status.FullChannels {
+			full = append(full, cand{peer: i, ref: ref})
+		}
+	}
+	if len(full) == 0 {
+		ev := Event{Status: StatusTrueDeadlock, Time: time.Now()}
+		if c.OnEvent != nil {
+			c.OnEvent(ev)
+		}
+		return StatusTrueDeadlock, nil
+	}
+	sort.Slice(full, func(i, j int) bool { return full[i].ref.Cap < full[j].ref.Cap })
+	for _, cd := range full {
+		newCap := cd.ref.Cap * c.GrowthFactor
+		if c.GrowthFactor <= 1 {
+			newCap = cd.ref.Cap * 2
+		}
+		if c.MaxCapacity > 0 && newCap > c.MaxCapacity {
+			newCap = c.MaxCapacity
+		}
+		if newCap <= cd.ref.Cap {
+			continue
+		}
+		got, err := c.Peers[cd.peer].GrowChannel(cd.ref.Name, newCap)
+		if err != nil || got <= cd.ref.Cap {
+			continue
+		}
+		c.resolutions.Add(1)
+		ev := Event{Status: StatusResolved, Channel: cd.ref.Name, NewCap: got, Time: time.Now()}
+		if c.OnEvent != nil {
+			c.OnEvent(ev)
+		}
+		return StatusResolved, nil
+	}
+	ev := Event{Status: StatusTrueDeadlock, Time: time.Now()}
+	if c.OnEvent != nil {
+		c.OnEvent(ev)
+	}
+	return StatusTrueDeadlock, nil
+}

@@ -1,0 +1,178 @@
+package deadlock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePeer is a scriptable Peer for coordinator unit tests.
+type fakePeer struct {
+	mu     sync.Mutex
+	status NodeStatus
+	err    error
+	grown  map[string]int
+	growFn func(name string, newCap int) (int, error)
+}
+
+func (p *fakePeer) DeadlockStatus() (NodeStatus, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status, p.err
+}
+
+func (p *fakePeer) GrowChannel(name string, newCap int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.growFn != nil {
+		return p.growFn(name, newCap)
+	}
+	if p.grown == nil {
+		p.grown = map[string]int{}
+	}
+	p.grown[name] = newCap
+	return newCap, nil
+}
+
+func (p *fakePeer) set(st NodeStatus) {
+	p.mu.Lock()
+	p.status = st
+	p.mu.Unlock()
+}
+
+func quietCoordinator(peers ...Peer) *Coordinator {
+	c := NewCoordinator(peers...)
+	c.Settle = 100 * time.Microsecond
+	return c
+}
+
+func TestCoordinatorTerminated(t *testing.T) {
+	c := quietCoordinator(&fakePeer{}, &fakePeer{})
+	st, err := c.Check()
+	if err != nil || st != StatusTerminated {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+func TestCoordinatorRunningWhenUnblocked(t *testing.T) {
+	c := quietCoordinator(&fakePeer{status: NodeStatus{Live: 2, Blocked: 0}})
+	st, err := c.Check()
+	if err != nil || st != StatusRunning {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+func TestCoordinatorRunningWhenCountersMove(t *testing.T) {
+	p := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1, Generation: 1}}
+	c := quietCoordinator(p)
+	c.Settle = 5 * time.Millisecond
+	go func() {
+		time.Sleep(time.Millisecond)
+		p.set(NodeStatus{Live: 1, Blocked: 1, Generation: 2})
+	}()
+	st, err := c.Check()
+	if err != nil || st != StatusRunning {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+func TestCoordinatorRunningWhenWakePending(t *testing.T) {
+	p := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1, WakePending: true}}
+	st, err := quietCoordinator(p).Check()
+	if err != nil || st != StatusRunning {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+func TestCoordinatorGrowsGloballySmallest(t *testing.T) {
+	p1 := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1,
+		FullChannels: []ChannelRef{{Name: "big", Cap: 1024}}}}
+	p2 := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1,
+		FullChannels: []ChannelRef{{Name: "small", Cap: 16}}}}
+	var events []Event
+	c := quietCoordinator(p1, p2)
+	c.OnEvent = func(e Event) { events = append(events, e) }
+	st, err := c.Check()
+	if err != nil || st != StatusResolved {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	if p2.grown["small"] != 32 {
+		t.Fatalf("grown = %v / %v", p1.grown, p2.grown)
+	}
+	if len(p1.grown) != 0 {
+		t.Fatalf("grew the wrong peer: %v", p1.grown)
+	}
+	if c.Resolutions() != 1 || len(events) != 1 || events[0].Channel != "small" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestCoordinatorTrueDeadlock(t *testing.T) {
+	p := &fakePeer{status: NodeStatus{Live: 2, Blocked: 2}}
+	var events []Event
+	c := quietCoordinator(p)
+	c.OnEvent = func(e Event) { events = append(events, e) }
+	st, err := c.Check()
+	if err != nil || st != StatusTrueDeadlock {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	if len(events) != 1 || events[0].Status != StatusTrueDeadlock {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestCoordinatorMaxCapacityExhausted(t *testing.T) {
+	p := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1,
+		FullChannels: []ChannelRef{{Name: "c", Cap: 64}}}}
+	c := quietCoordinator(p)
+	c.MaxCapacity = 64 // cannot grow past current capacity
+	st, err := c.Check()
+	if err != nil || st != StatusTrueDeadlock {
+		t.Fatalf("got %v, %v", st, err)
+	}
+}
+
+func TestCoordinatorSkipsFailingGrowth(t *testing.T) {
+	bad := &fakePeer{
+		status: NodeStatus{Live: 1, Blocked: 1,
+			FullChannels: []ChannelRef{{Name: "cursed", Cap: 8}}},
+		growFn: func(string, int) (int, error) { return 0, errors.New("nope") },
+	}
+	ok := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1,
+		FullChannels: []ChannelRef{{Name: "fine", Cap: 16}}}}
+	c := quietCoordinator(bad, ok)
+	st, err := c.Check()
+	if err != nil || st != StatusResolved {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	if ok.grown["fine"] != 32 {
+		t.Fatalf("fallback growth missing: %v", ok.grown)
+	}
+}
+
+func TestCoordinatorPeerErrorSurfaces(t *testing.T) {
+	p := &fakePeer{err: errors.New("peer down")}
+	if _, err := quietCoordinator(p).Check(); err == nil {
+		t.Fatal("peer error swallowed")
+	}
+}
+
+func TestCoordinatorBackgroundLoop(t *testing.T) {
+	p := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1,
+		FullChannels: []ChannelRef{{Name: "x", Cap: 4}}}}
+	c := quietCoordinator(p)
+	c.Poll = time.Millisecond
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Resolutions() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop never resolved")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Simulate completion: the loop should exit on its own.
+	p.set(NodeStatus{})
+	c.Stop()
+	c.Stop() // idempotent
+}

@@ -1,0 +1,243 @@
+// Package deadlock implements run-time buffer management for bounded
+// process-network channels, following the bounded-scheduling approach of
+// Parks' thesis that the paper adopts (§3.5, §6.2): channels have finite
+// capacity so writes block and scheduling stays fair, but finite
+// capacity can introduce *artificial* deadlock — a cycle (or, as in
+// Figure 13, even an acyclic graph) of processes blocked writing to full
+// channels. Determining safe capacities statically is undecidable
+// (equivalent to the halting problem), so a monitor watches the running
+// network: when every live process is blocked and at least one is
+// blocked writing to a full channel, the smallest such channel's buffer
+// is grown and execution resumes. If every blocked process is waiting to
+// read, the deadlock is real and is reported.
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dpn/internal/core"
+)
+
+// Status classifies what the monitor observed.
+type Status int
+
+const (
+	// StatusRunning means the network is making progress.
+	StatusRunning Status = iota
+	// StatusResolved means an artificial deadlock was detected and
+	// resolved by growing a channel.
+	StatusResolved
+	// StatusTrueDeadlock means every live process is blocked reading —
+	// no capacity increase can help.
+	StatusTrueDeadlock
+	// StatusTerminated means no live processes remain.
+	StatusTerminated
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusResolved:
+		return "resolved"
+	case StatusTrueDeadlock:
+		return "true-deadlock"
+	case StatusTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Event records one detection the monitor made.
+type Event struct {
+	Status  Status
+	Channel string // grown channel, for StatusResolved
+	NewCap  int    // capacity after growth
+	Time    time.Time
+}
+
+// Monitor watches one network.
+type Monitor struct {
+	net *core.Network
+
+	// Poll is the sampling interval. The generation counter makes
+	// detection cheap, so a small interval is fine.
+	Poll time.Duration
+	// GrowthFactor multiplies a full channel's capacity on resolution
+	// (must be > 1; default 2).
+	GrowthFactor int
+	// MaxCapacity bounds growth; 0 means unbounded. If growth is
+	// impossible because every full channel is at MaxCapacity, the
+	// deadlock is reported as true deadlock.
+	MaxCapacity int
+	// OnEvent, if set, is invoked for every resolution and for a true
+	// deadlock.
+	OnEvent func(Event)
+
+	mu     sync.Mutex
+	events []Event
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New creates a monitor for n with the given poll interval.
+func New(n *core.Network, poll time.Duration) *Monitor {
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	return &Monitor{
+		net:          n,
+		Poll:         poll,
+		GrowthFactor: 2,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// Events returns the events recorded so far.
+func (m *Monitor) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Resolutions counts artificial deadlocks resolved so far.
+func (m *Monitor) Resolutions() int {
+	n := 0
+	for _, e := range m.Events() {
+		if e.Status == StatusResolved {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the monitoring goroutine. Call Stop to end it; it also
+// ends by itself when the network has no live processes left.
+func (m *Monitor) Start() {
+	go m.loop()
+}
+
+// Stop ends the monitoring goroutine and waits for it to exit.
+func (m *Monitor) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		if st := m.Check(); st == StatusTerminated {
+			return
+		}
+		// On StatusTrueDeadlock the monitor keeps watching: the report
+		// lets the user act (tear the network down, close a channel),
+		// after which progress or termination is observed normally.
+	}
+}
+
+// Check performs one detection pass and, when it finds an artificial
+// deadlock, resolves it. It is exported so tests and callers can drive
+// detection synchronously.
+func (m *Monitor) Check() Status {
+	live := m.net.Live()
+	if live == 0 {
+		return StatusTerminated
+	}
+	// Candidate condition: every live process is blocked in a channel
+	// operation.
+	if m.net.Blocked() < live {
+		return StatusRunning
+	}
+	// Confirm stability: no scheduling event may intervene between two
+	// observations, otherwise we might have caught a transient state.
+	gen := m.net.Generation()
+	if m.net.Blocked() < m.net.Live() || m.net.Generation() != gen {
+		return StatusRunning
+	}
+
+	// Deadlocked? Find full channels with blocked writers, and bail out
+	// if any pipe has a signaled-but-not-yet-rescheduled party — the
+	// scheduler just hasn't run it yet.
+	type cand struct {
+		ch  *core.Channel
+		cap int
+	}
+	var full []cand
+	for _, ch := range m.net.Channels() {
+		p := ch.Pipe()
+		if p.WakePending() {
+			return StatusRunning
+		}
+		if p.WriteBlockedOnFull() {
+			full = append(full, cand{ch, p.Cap()})
+		}
+	}
+	if m.net.Generation() != gen {
+		return StatusRunning // raced with progress; not a deadlock
+	}
+	if len(full) == 0 {
+		ev := Event{Status: StatusTrueDeadlock, Time: time.Now()}
+		m.recordEdge(ev)
+		return StatusTrueDeadlock
+	}
+	// Parks' rule: grow the smallest full channel, keeping total buffer
+	// memory as small as possible.
+	sort.Slice(full, func(i, j int) bool { return full[i].cap < full[j].cap })
+	for _, c := range full {
+		newCap := c.cap * m.GrowthFactor
+		if m.GrowthFactor <= 1 {
+			newCap = c.cap * 2
+		}
+		if m.MaxCapacity > 0 && newCap > m.MaxCapacity {
+			newCap = m.MaxCapacity
+		}
+		if newCap <= c.cap {
+			continue // already at the bound; try the next channel
+		}
+		c.ch.Pipe().Grow(newCap)
+		ev := Event{Status: StatusResolved, Channel: c.ch.Name(), NewCap: newCap, Time: time.Now()}
+		m.record(ev)
+		return StatusResolved
+	}
+	ev := Event{Status: StatusTrueDeadlock, Time: time.Now()}
+	m.recordEdge(ev)
+	return StatusTrueDeadlock
+}
+
+// recordEdge records a true-deadlock event only on the transition into
+// the state, so a monitor loop does not spam events every poll.
+func (m *Monitor) recordEdge(ev Event) {
+	m.mu.Lock()
+	if len(m.events) > 0 && m.events[len(m.events)-1].Status == StatusTrueDeadlock {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	m.record(ev)
+}
+
+func (m *Monitor) record(ev Event) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	cb := m.OnEvent
+	m.mu.Unlock()
+	if cb != nil {
+		cb(ev)
+	}
+}

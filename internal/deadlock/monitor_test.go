@@ -1,0 +1,262 @@
+package deadlock
+
+import (
+	"testing"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/token"
+)
+
+// The processes below reconstruct Figure 13 of the paper: a source
+// produces consecutive integers; a splitter sends every N-th value to
+// its first output and the others to its second; an ordered merge reads
+// one value from the first input then N-1 from the second. If the
+// second channel's capacity is below (N-1) elements, the splitter blocks
+// writing before the merge can make progress — an artificial deadlock in
+// an acyclic graph that only buffer growth can resolve.
+
+type source struct {
+	core.Iterative
+	Out *core.WritePort
+	v   int64
+}
+
+func (s *source) Step(env *core.Env) error {
+	s.v++
+	return token.NewWriter(s.Out).WriteInt64(s.v)
+}
+
+type splitter struct {
+	OutA *core.WritePort // multiples of N
+	OutB *core.WritePort // everything else
+	In   *core.ReadPort
+	N    int64
+}
+
+func (m *splitter) Step(env *core.Env) error {
+	v, err := token.NewReader(m.In).ReadInt64()
+	if err != nil {
+		return err
+	}
+	if v%m.N == 0 {
+		return token.NewWriter(m.OutA).WriteInt64(v)
+	}
+	return token.NewWriter(m.OutB).WriteInt64(v)
+}
+
+type merger struct {
+	core.Iterative
+	InA *core.ReadPort
+	InB *core.ReadPort
+	N   int64
+	got []int64
+}
+
+func (g *merger) Step(env *core.Env) error {
+	// One full round: N-1 values from B, then the multiple from A, in
+	// numeric order (B carries k..k+N-2, A carries k+N-1... actually A
+	// carries the multiple; ordering is immaterial for the deadlock).
+	ra := token.NewReader(g.InA)
+	rb := token.NewReader(g.InB)
+	v, err := ra.ReadInt64()
+	if err != nil {
+		return err
+	}
+	g.got = append(g.got, v)
+	for i := int64(0); i < g.N-1; i++ {
+		v, err := rb.ReadInt64()
+		if err != nil {
+			return err
+		}
+		g.got = append(g.got, v)
+	}
+	return nil
+}
+
+func buildFigure13(n *core.Network, chbCap int) *merger {
+	const N = 8
+	cha := n.NewChannel("a", 64)
+	chb := n.NewChannel("b", chbCap)
+	src := n.NewChannel("src", 64)
+	s := &source{Out: src.Writer()}
+	s.Iterations = 64
+	n.Spawn(s)
+	n.Spawn(&splitter{In: src.Reader(), OutA: cha.Writer(), OutB: chb.Writer(), N: N})
+	g := &merger{InA: cha.Reader(), InB: chb.Reader(), N: N}
+	g.Iterations = 8
+	n.Spawn(g)
+	return g
+}
+
+func TestArtificialDeadlockResolved(t *testing.T) {
+	n := core.NewNetwork()
+	// 8-byte capacity: holds one element; the splitter needs to buffer
+	// seven before the merge reads any.
+	g := buildFigure13(n, 8)
+	m := New(n, time.Millisecond)
+	m.Start()
+	defer m.Stop()
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("network did not finish; deadlock not resolved")
+	}
+	if m.Resolutions() == 0 {
+		t.Fatal("expected at least one resolution event")
+	}
+	if len(g.got) != 64 {
+		t.Fatalf("merge consumed %d values, want 64", len(g.got))
+	}
+	// The first resolution grows the smallest full channel. Under most
+	// schedules that is "b"; other interleavings can legitimately fill
+	// other channels first, so only the rule — a resolution happened and
+	// the network completed — is asserted strictly. Record the channels
+	// for inspection.
+	for _, ev := range m.Events() {
+		if ev.Status == StatusResolved {
+			t.Logf("grew %q to %d", ev.Channel, ev.NewCap)
+		}
+	}
+}
+
+func TestSufficientCapacityNeedsNoResolution(t *testing.T) {
+	n := core.NewNetwork()
+	buildFigure13(n, 1024)
+	m := New(n, time.Millisecond)
+	m.Start()
+	defer m.Stop()
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Resolutions(); got != 0 {
+		t.Fatalf("unexpected resolutions: %d", got)
+	}
+}
+
+// A cycle of two processes each blocked reading the other's output is a
+// true deadlock: growth cannot help.
+type readFirst struct {
+	In  *core.ReadPort
+	Out *core.WritePort
+}
+
+func (p *readFirst) Step(env *core.Env) error {
+	v, err := token.NewReader(p.In).ReadInt64()
+	if err != nil {
+		return err
+	}
+	return token.NewWriter(p.Out).WriteInt64(v)
+}
+
+func TestTrueDeadlockReported(t *testing.T) {
+	n := core.NewNetwork()
+	ab := n.NewChannel("ab", 64)
+	ba := n.NewChannel("ba", 64)
+	n.Spawn(&readFirst{In: ab.Reader(), Out: ba.Writer()})
+	n.Spawn(&readFirst{In: ba.Reader(), Out: ab.Writer()})
+	m := New(n, time.Millisecond)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Check()
+		if st == StatusTrueDeadlock {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("true deadlock not reported; last status %v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Unblock the network so the test can end.
+	ab.Writer().Close()
+	ba.Writer().Close()
+	ab.Reader().Close()
+	ba.Reader().Close()
+	n.Wait()
+}
+
+func TestCheckStatuses(t *testing.T) {
+	n := core.NewNetwork()
+	m := New(n, 0)
+	if st := m.Check(); st != StatusTerminated {
+		t.Fatalf("empty network: %v", st)
+	}
+	// A running (non-blocked) process yields StatusRunning.
+	busy := n.NewChannel("busy", 1024)
+	s := &source{Out: busy.Writer()}
+	s.Iterations = 1
+	p := n.Spawn(s)
+	st := m.Check()
+	if st != StatusRunning && st != StatusTerminated {
+		t.Fatalf("got %v", st)
+	}
+	p.Wait()
+	n.Wait()
+}
+
+func TestMaxCapacityLimitsGrowth(t *testing.T) {
+	n := core.NewNetwork()
+	buildFigure13(n, 8)
+	m := New(n, time.Millisecond)
+	m.MaxCapacity = 16 // too small for 7 pending elements (56 bytes)
+	var events []Event
+	m.OnEvent = func(e Event) { events = append(events, e) }
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Check()
+		if st == StatusTrueDeadlock {
+			break // growth exhausted, reported as unresolvable
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bounded monitor never gave up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Tear down.
+	for _, ch := range n.Channels() {
+		ch.Writer().Close()
+		ch.Reader().Close()
+	}
+	n.Wait()
+	var resolved int
+	for _, e := range events {
+		if e.Status == StatusResolved {
+			resolved++
+			if e.NewCap > 16 {
+				t.Fatalf("grew past MaxCapacity: %d", e.NewCap)
+			}
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("expected at least one capped growth before giving up")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		StatusRunning:      "running",
+		StatusResolved:     "resolved",
+		StatusTrueDeadlock: "true-deadlock",
+		StatusTerminated:   "terminated",
+		Status(42):         "Status(42)",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), st, want)
+		}
+	}
+}
+
+func TestMonitorStopIdempotent(t *testing.T) {
+	n := core.NewNetwork()
+	m := New(n, time.Millisecond)
+	m.Start()
+	m.Stop()
+	m.Stop()
+}

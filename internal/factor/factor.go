@@ -1,0 +1,227 @@
+// Package factor implements the paper's evaluation workload (§5.2): a
+// brute-force search for "weak" RSA keys whose prime factors lie close
+// together. Given N = P×(P+D) for a small even difference D, the search
+// tests candidate differences: for each D, N has such a factorization
+// exactly when 4N+D² is a perfect square s², with P = (s−D)/2.
+//
+// The work is packaged as meta.Task objects — a producer task that
+// slices the difference search space into batches (the paper uses 32
+// even values of D per task), worker tasks that test one batch each,
+// and result tasks whose Terminal flag stops the computation when the
+// factor has been found.
+package factor
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"dpn/internal/meta"
+)
+
+// DefaultBatch is the number of even difference values tested per
+// worker task; the paper found 32 balanced computation against
+// communication.
+const DefaultBatch = 32
+
+// Key is a deliberately weak RSA modulus with known factorization,
+// used to construct experiment instances.
+type Key struct {
+	N *big.Int // modulus, N = P·Q
+	P *big.Int // smaller prime factor
+	Q *big.Int // larger factor, Q = P + D
+	D int64    // difference Q − P (even)
+}
+
+// GenerateWeakKey builds an experiment instance mirroring the paper's
+// test case: a random prime P of the given bit length and a modulus
+// N = P×(P+D), with D chosen so that the brute-force search finds the
+// factor while executing task index targetTask (0-based) when each task
+// tests batch even values of D. The paper used 512-bit P (1024-bit N)
+// and 2048 tasks of 32 values each.
+func GenerateWeakKey(rnd io.Reader, bits int, targetTask, batch int64) (*Key, error) {
+	if bits < 8 {
+		return nil, errors.New("factor: need at least 8 bits")
+	}
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if targetTask < 0 {
+		return nil, errors.New("factor: negative target task")
+	}
+	p, err := randPrime(rnd, bits)
+	if err != nil {
+		return nil, err
+	}
+	// Place D in the middle of the target task's batch.
+	d := 2 * (batch*targetTask + batch/2)
+	q := new(big.Int).Add(p, big.NewInt(d))
+	n := new(big.Int).Mul(p, q)
+	return &Key{N: n, P: p, Q: q, D: d}, nil
+}
+
+// randPrime returns a prime with exactly the given bit length, using
+// rnd as the entropy source (crypto/rand.Prime has the same contract;
+// reimplemented here to stay within the subset of stdlib the repo
+// uses deterministically in tests).
+func randPrime(rnd io.Reader, bits int) (*big.Int, error) {
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	for tries := 0; tries < 100000; tries++ {
+		if _, err := io.ReadFull(rnd, buf); err != nil {
+			return nil, err
+		}
+		p := new(big.Int).SetBytes(buf)
+		// Force exact bit length and oddness.
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, 0, 1)
+		if p.BitLen() > bits {
+			p.Rsh(p, uint(p.BitLen()-bits))
+			p.SetBit(p, bits-1, 1)
+			p.SetBit(p, 0, 1)
+		}
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("factor: failed to find a prime")
+}
+
+// SearchSpace is the producer task: its Run method yields one
+// SearchTask per call, covering successive batches of even difference
+// values, until MaxTasks tasks have been produced (§5.1: the producer
+// repeatedly invokes run on a single task object).
+type SearchSpace struct {
+	N        *big.Int
+	Batch    int64
+	MaxTasks int64
+
+	Next int64 // next task index
+}
+
+// Run implements meta.Task.
+func (s *SearchSpace) Run() (meta.Task, error) {
+	if s.MaxTasks > 0 && s.Next >= s.MaxTasks {
+		return nil, nil
+	}
+	batch := s.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	t := &SearchTask{N: s.N, Index: s.Next, D0: 2 * batch * s.Next, Count: batch}
+	s.Next++
+	return t, nil
+}
+
+// SearchTask tests Count even difference values starting at D0: worker
+// tasks in the paper's experiment, each testing 32 even values of D.
+type SearchTask struct {
+	N     *big.Int
+	Index int64
+	D0    int64
+	Count int64
+}
+
+// Run implements meta.Task: it performs the perfect-square test for
+// each difference in the batch and returns a Result task.
+func (t *SearchTask) Run() (meta.Task, error) {
+	res := &Result{Index: t.Index}
+	four := big.NewInt(4)
+	fourN := new(big.Int).Mul(four, t.N)
+	d := new(big.Int)
+	s := new(big.Int)
+	sq := new(big.Int)
+	for i := int64(0); i < t.Count; i++ {
+		dv := t.D0 + 2*i
+		d.SetInt64(dv)
+		// s² ?= 4N + D²
+		sq.Mul(d, d)
+		sq.Add(sq, fourN)
+		s.Sqrt(sq)
+		check := new(big.Int).Mul(s, s)
+		if check.Cmp(sq) != 0 {
+			continue
+		}
+		// P = (s − D) / 2
+		p := new(big.Int).Sub(s, d)
+		p.Rsh(p, 1)
+		if p.Sign() <= 0 {
+			continue
+		}
+		q := new(big.Int).Add(p, d)
+		prod := new(big.Int).Mul(p, q)
+		if prod.Cmp(t.N) == 0 {
+			res.Found = true
+			res.P = p
+			res.D = dv
+			break
+		}
+	}
+	return res, nil
+}
+
+// Result is the consumer task: it reports whether the batch contained
+// the factorization. Its Terminal flag ends the computation (§5.2: the
+// consumer "prints the result and stops" when a factor is found).
+type Result struct {
+	Index int64
+	Found bool
+	P     *big.Int
+	D     int64
+}
+
+// Run implements meta.Task. The consumer runs result tasks; the
+// interesting state is carried by the fields, so Run has nothing to do.
+func (r *Result) Run() (meta.Task, error) { return nil, nil }
+
+// Terminal implements meta.Terminal.
+func (r *Result) Terminal() bool { return r.Found }
+
+func (r *Result) String() string {
+	if !r.Found {
+		return fmt.Sprintf("task %d: no factor", r.Index)
+	}
+	return fmt.Sprintf("task %d: P=%s D=%d", r.Index, r.P, r.D)
+}
+
+// RunSequential executes the whole search by directly invoking the
+// task run methods without any process network — the baseline of
+// Table 1 ("The computation was carried out by directly invoking the
+// run methods of the producer, worker, and consumer tasks without the
+// use of process networks"). It returns the terminal result and the
+// number of worker tasks executed.
+func RunSequential(space *SearchSpace) (*Result, int64, error) {
+	var tasks int64
+	for {
+		wt, err := space.Run()
+		if err != nil {
+			return nil, tasks, err
+		}
+		if wt == nil {
+			return nil, tasks, nil
+		}
+		tasks++
+		rt, err := wt.Run()
+		if err != nil {
+			return nil, tasks, err
+		}
+		res, ok := rt.(*Result)
+		if !ok {
+			return nil, tasks, fmt.Errorf("factor: unexpected result type %T", rt)
+		}
+		if _, err := res.Run(); err != nil {
+			return nil, tasks, err
+		}
+		if res.Found {
+			return res, tasks, nil
+		}
+	}
+}
+
+func init() {
+	gob.Register(&SearchSpace{})
+	gob.Register(&SearchTask{})
+	gob.Register(&Result{})
+}

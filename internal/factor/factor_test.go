@@ -1,0 +1,232 @@
+package factor
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/meta"
+)
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestGenerateWeakKey(t *testing.T) {
+	k, err := GenerateWeakKey(testRand(), 64, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.P.ProbablyPrime(20) {
+		t.Fatal("P not prime")
+	}
+	if got := new(big.Int).Mul(k.P, k.Q); got.Cmp(k.N) != 0 {
+		t.Fatal("N != P*Q")
+	}
+	if d := new(big.Int).Sub(k.Q, k.P); d.Int64() != k.D {
+		t.Fatalf("D mismatch: %v vs %d", d, k.D)
+	}
+	if k.P.BitLen() != 64 {
+		t.Fatalf("P has %d bits, want 64", k.P.BitLen())
+	}
+	if k.D%2 != 0 {
+		t.Fatalf("D=%d not even", k.D)
+	}
+}
+
+func TestGenerateWeakKeyErrors(t *testing.T) {
+	if _, err := GenerateWeakKey(testRand(), 4, 0, 32); err == nil {
+		t.Fatal("tiny bits accepted")
+	}
+	if _, err := GenerateWeakKey(testRand(), 64, -1, 32); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestSearchTaskFindsFactor(t *testing.T) {
+	k, err := GenerateWeakKey(testRand(), 96, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 3 covers D in [48, 62]; the key's D is 2*(8*3+4) = 56.
+	task := &SearchTask{N: k.N, Index: 3, D0: 2 * 8 * 3, Count: 8}
+	rt, err := task.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rt.(*Result)
+	if !res.Found {
+		t.Fatal("factor not found in target batch")
+	}
+	if res.P.Cmp(k.P) != 0 {
+		t.Fatalf("P = %v, want %v", res.P, k.P)
+	}
+	if res.D != k.D {
+		t.Fatalf("D = %d, want %d", res.D, k.D)
+	}
+	if !res.Terminal() {
+		t.Fatal("found result must be terminal")
+	}
+}
+
+func TestSearchTaskMissesOtherBatches(t *testing.T) {
+	k, err := GenerateWeakKey(testRand(), 96, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int64{0, 1, 2, 4, 5} {
+		task := &SearchTask{N: k.N, Index: idx, D0: 2 * 8 * idx, Count: 8}
+		rt, err := task.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.(*Result).Found {
+			t.Fatalf("task %d claims a factor", idx)
+		}
+	}
+}
+
+func TestRunSequentialFindsFactorAtTargetTask(t *testing.T) {
+	const target, batch = 7, 16
+	k, err := GenerateWeakKey(testRand(), 80, target, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tasks, err := RunSequential(&SearchSpace{N: k.N, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !res.Found {
+		t.Fatal("sequential search failed")
+	}
+	if tasks != target+1 {
+		t.Fatalf("executed %d tasks, want %d", tasks, target+1)
+	}
+	if res.P.Cmp(k.P) != 0 {
+		t.Fatalf("P = %v, want %v", res.P, k.P)
+	}
+}
+
+func TestRunSequentialExhaustsSearchSpace(t *testing.T) {
+	k, err := GenerateWeakKey(testRand(), 80, 50, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound the space below the target: no factor is found.
+	res, tasks, err := RunSequential(&SearchSpace{N: k.N, Batch: 16, MaxTasks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("unexpected result %v", res)
+	}
+	if tasks != 10 {
+		t.Fatalf("executed %d tasks, want 10", tasks)
+	}
+}
+
+// Property: for random small primes and targets, the search space +
+// search task machinery locates the planted factorization.
+func TestFactorProperty(t *testing.T) {
+	f := func(seed int64, targetSeed uint8) bool {
+		target := int64(targetSeed) % 12
+		rnd := rand.New(rand.NewSource(seed))
+		k, err := GenerateWeakKey(rnd, 48, target, 8)
+		if err != nil {
+			return false
+		}
+		res, tasks, err := RunSequential(&SearchSpace{N: k.N, Batch: 8})
+		if err != nil || res == nil || !res.Found {
+			return false
+		}
+		// The search may find an even-closer factor pair for another
+		// divisor, but for semiprimes it must find ours at our task.
+		return res.P.Cmp(k.P) == 0 && tasks == target+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end: the factorization distributed over the dynamic process
+// network finds the same factor the sequential baseline finds — the
+// determinacy claim applied to the paper's actual workload.
+func TestFactorThroughDynamicNetwork(t *testing.T) {
+	const target, batch = 9, 8
+	k, err := GenerateWeakKey(testRand(), 96, target, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, _, err := RunSequential(&SearchSpace{N: k.N, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := core.NewNetwork()
+	dyn := meta.NewDynamic(n, &SearchSpace{N: k.N, Batch: batch}, 4, 0)
+	var found *Result
+	dyn.Consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*Result); ok && r.Found && found == nil {
+			found = r
+		}
+	})
+	dyn.Spawn(n)
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed factorization did not terminate")
+	}
+	if found == nil {
+		t.Fatal("network did not find the factor")
+	}
+	if found.P.Cmp(seqRes.P) != 0 || found.D != seqRes.D {
+		t.Fatalf("network found %v, sequential found %v", found, seqRes)
+	}
+}
+
+func TestFactorThroughStaticNetwork(t *testing.T) {
+	const target, batch = 5, 8
+	k, err := GenerateWeakKey(testRand(), 96, target, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := core.NewNetwork()
+	st := meta.NewStatic(n, &SearchSpace{N: k.N, Batch: batch, MaxTasks: 32}, 4, 0)
+	var found *Result
+	st.Consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*Result); ok && r.Found && found == nil {
+			found = r
+		}
+	})
+	st.Spawn(n)
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("static factorization did not terminate")
+	}
+	if found == nil || found.P.Cmp(k.P) != 0 {
+		t.Fatalf("static network result wrong: %v", found)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{Index: 3}
+	if r.String() != "task 3: no factor" {
+		t.Fatalf("got %q", r.String())
+	}
+	r = &Result{Index: 4, Found: true, P: big.NewInt(17), D: 2}
+	if r.String() != "task 4: P=17 D=2" {
+		t.Fatalf("got %q", r.String())
+	}
+}

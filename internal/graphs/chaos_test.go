@@ -1,0 +1,98 @@
+package graphs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/deadlock"
+)
+
+// Determinacy under scheduling perturbation: channel capacities change
+// the blocking pattern — and therefore the schedule — of every run.
+// Kahn's theorem says the computed streams must not change. The
+// deadlock monitor covers runs whose capacities are small enough to
+// artificially deadlock the cyclic graphs.
+func TestFibonacciDeterminateUnderCapacityPerturbation(t *testing.T) {
+	want := fibRef(25)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		capacity := 16 << rng.Intn(8) // 16B .. 2KiB
+		n := core.NewNetwork(core.WithDefaultCapacity(capacity))
+		sink := Fibonacci(n, 25, trial%2 == 1)
+		mon := deadlock.New(n, 200*time.Microsecond)
+		mon.Start()
+		done := make(chan error, 1)
+		go func() { done <- n.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("trial %d (cap %d): %v", trial, capacity, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("trial %d (cap %d): did not terminate", trial, capacity)
+		}
+		mon.Stop()
+		if got := sink.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (cap %d): history changed: %v", trial, capacity, got)
+		}
+	}
+}
+
+func TestSieveDeterminateUnderCapacityPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	want := primesRef(150)
+	for trial := 0; trial < 8; trial++ {
+		capacity := 16 << rng.Intn(7)
+		n := core.NewNetwork(core.WithDefaultCapacity(capacity))
+		mode := SieveIterative
+		if trial%2 == 1 {
+			mode = SieveRecursive
+		}
+		sink := SieveBounded(n, 150, mode)
+		mon := deadlock.New(n, 200*time.Microsecond)
+		mon.Start()
+		done := make(chan error, 1)
+		go func() { done <- n.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("trial %d (cap %d): %v", trial, capacity, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("trial %d (cap %d): did not terminate", trial, capacity)
+		}
+		mon.Stop()
+		if got := sink.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (cap %d): history changed", trial, capacity)
+		}
+	}
+}
+
+func TestHammingDeterminateUnderCapacityPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	want := hammingRef(80)
+	for trial := 0; trial < 6; trial++ {
+		capacity := 16 << rng.Intn(6)
+		n := core.NewNetwork()
+		sink := Hamming(n, 80, capacity)
+		mon := deadlock.New(n, 200*time.Microsecond)
+		mon.Start()
+		done := make(chan error, 1)
+		go func() { done <- n.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("trial %d (cap %d): %v", trial, capacity, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("trial %d (cap %d): did not terminate", trial, capacity)
+		}
+		mon.Stop()
+		if got := sink.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (cap %d): history changed: %v", trial, capacity, got)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package graphs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/deadlock"
+)
+
+func fibRef(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		if i < 2 {
+			out[i] = 1
+		} else {
+			out[i] = out[i-1] + out[i-2]
+		}
+	}
+	return out
+}
+
+func TestFibonacciNetwork(t *testing.T) {
+	n := core.NewNetwork()
+	sink := Fibonacci(n, 20, false)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sink.Values(), fibRef(20); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestFibonacciWithSelfRemovingCons(t *testing.T) {
+	// Figure 9: the two Cons processes splice themselves out after
+	// priming; the sequence must be unchanged.
+	n := core.NewNetwork()
+	sink := Fibonacci(n, 20, true)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sink.Values(), fibRef(20); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Determinacy (§2): the computed history must be identical run after
+// run, under both reconfiguration styles, regardless of scheduling.
+func TestFibonacciDeterminacyAcrossRuns(t *testing.T) {
+	want := fibRef(30)
+	for i := 0; i < 20; i++ {
+		selfRemove := i%2 == 1
+		n := core.NewNetwork()
+		sink := Fibonacci(n, 30, selfRemove)
+		if err := n.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got := sink.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d (selfRemove=%v): got %v, want %v", i, selfRemove, got, want)
+		}
+	}
+}
+
+func primesRef(limit int64) []int64 {
+	var out []int64
+	for v := int64(2); v < limit; v++ {
+		isP := true
+		for d := int64(2); d*d <= v; d++ {
+			if v%d == 0 {
+				isP = false
+				break
+			}
+		}
+		if isP {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestSieveBoundedBothModes(t *testing.T) {
+	want := primesRef(200)
+	for _, mode := range []SieveMode{SieveIterative, SieveRecursive} {
+		n := core.NewNetwork()
+		sink := SieveBounded(n, 200, mode)
+		if err := n.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got := sink.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %d: got %v, want %v", mode, got, want)
+		}
+	}
+}
+
+func TestSieveFirstNBothModes(t *testing.T) {
+	want := primesRef(1000)[:50]
+	for _, mode := range []SieveMode{SieveIterative, SieveRecursive} {
+		n := core.NewNetwork()
+		sink := SieveFirstN(n, 50, mode)
+		done := make(chan error, 1)
+		go func() { done <- n.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("mode %d: sieve did not terminate", mode)
+		}
+		if got := sink.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %d: got %v, want %v", mode, got, want)
+		}
+	}
+}
+
+func TestSieveDeterminacyAcrossModes(t *testing.T) {
+	// The two self-modification styles are different schedules of the
+	// same Kahn network; their histories must agree.
+	n1 := core.NewNetwork()
+	s1 := SieveFirstN(n1, 40, SieveIterative)
+	n2 := core.NewNetwork()
+	s2 := SieveFirstN(n2, 40, SieveRecursive)
+	if err := n1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Values(), s2.Values()) {
+		t.Fatalf("iterative %v != recursive %v", s1.Values(), s2.Values())
+	}
+}
+
+func hammingRef(count int) []int64 {
+	// Classic three-pointer generation.
+	h := make([]int64, count)
+	h[0] = 1
+	i2, i3, i5 := 0, 0, 0
+	for i := 1; i < count; i++ {
+		n2, n3, n5 := h[i2]*2, h[i3]*3, h[i5]*5
+		m := n2
+		if n3 < m {
+			m = n3
+		}
+		if n5 < m {
+			m = n5
+		}
+		h[i] = m
+		if m == n2 {
+			i2++
+		}
+		if m == n3 {
+			i3++
+		}
+		if m == n5 {
+			i5++
+		}
+	}
+	return h
+}
+
+func TestHammingWithAmpleBuffers(t *testing.T) {
+	n := core.NewNetwork()
+	sink := Hamming(n, 100, 1<<16)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sink.Values(), hammingRef(100); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestHammingSmallBuffersNeedDeadlockResolution(t *testing.T) {
+	// With tiny channel capacities the unbounded graph of Figure 12
+	// write-blocks; the monitor must grow buffers until the 200-element
+	// prefix is produced.
+	n := core.NewNetwork()
+	sink := Hamming(n, 200, 16)
+	mon := deadlock.New(n, 200*time.Microsecond)
+	mon.Start()
+	defer mon.Stop()
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("hamming did not terminate (deadlock unresolved)")
+	}
+	if got, want := sink.Values(), hammingRef(200); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if mon.Resolutions() == 0 {
+		t.Fatal("expected the monitor to resolve at least one artificial deadlock")
+	}
+	t.Logf("deadlock resolutions: %d", mon.Resolutions())
+}
+
+func TestSqrtNewton(t *testing.T) {
+	for _, x := range []float64{4, 2, 10, 123456.789} {
+		n := core.NewNetwork()
+		sink := Sqrt(n, x, x/2)
+		done := make(chan error, 1)
+		go func() { done <- n.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("sqrt(%v) did not terminate", x)
+		}
+		got := sink.Values()
+		if len(got) != 1 {
+			t.Fatalf("sqrt(%v): got %v", x, got)
+		}
+		if math.Abs(got[0]-math.Sqrt(x)) > 1e-12*math.Sqrt(x) {
+			t.Fatalf("sqrt(%v) = %v, want %v", x, got[0], math.Sqrt(x))
+		}
+	}
+}
+
+func TestSqrtDeterminacy(t *testing.T) {
+	var first float64
+	for i := 0; i < 10; i++ {
+		n := core.NewNetwork()
+		sink := Sqrt(n, 7.25, 1)
+		if err := n.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		got := sink.Values()
+		if len(got) != 1 {
+			t.Fatalf("run %d: got %v", i, got)
+		}
+		if i == 0 {
+			first = got[0]
+		} else if got[0] != first {
+			t.Fatalf("run %d: %v != %v (nondeterminate)", i, got[0], first)
+		}
+	}
+}

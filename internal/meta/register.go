@@ -1,0 +1,15 @@
+package meta
+
+import "encoding/gob"
+
+// init registers the framework's process types with gob so that
+// workers (and the other generic processes) can be shipped to remote
+// compute servers.
+func init() {
+	gob.Register(&Producer{})
+	gob.Register(&Worker{})
+	gob.Register(&Consumer{})
+	gob.Register(&Direct{})
+	gob.Register(&Turnstile{})
+	gob.Register(&Select{})
+}

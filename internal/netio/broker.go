@@ -1,0 +1,229 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Broker is a node's single network endpoint. All channel connections
+// of all distributed graphs hosted by the node arrive at the broker's
+// listener and are matched to waiting channel ends by rendezvous token
+// (the Go analog of the automatic connection establishment of §4.2:
+// where Java Object Serialization hooks create listening sockets per
+// stream, the broker multiplexes every rendezvous through one address).
+type Broker struct {
+	ln   net.Listener
+	addr string
+
+	mu         sync.Mutex
+	waiting    map[string]func(conn net.Conn, peerAddr string)
+	pending    map[string]pendingConn
+	links      map[*Handle]struct{}
+	pendingTTL time.Duration
+	closed     bool
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
+	acceptDone chan struct{}
+}
+
+type pendingConn struct {
+	conn     net.Conn
+	peerAddr string
+	arrived  time.Time
+}
+
+// NewBroker starts a broker listening on listenAddr (use
+// "127.0.0.1:0" to pick a free port).
+func NewBroker(listenAddr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{
+		ln:         ln,
+		addr:       ln.Addr().String(),
+		waiting:    make(map[string]func(net.Conn, string)),
+		pending:    make(map[string]pendingConn),
+		links:      make(map[*Handle]struct{}),
+		pendingTTL: rendezvousTimeout,
+		acceptDone: make(chan struct{}),
+	}
+	go b.acceptLoop()
+	return b, nil
+}
+
+// SetPendingTTL adjusts how long an early connection (one whose token
+// has no registered endpoint yet) is parked before being dropped.
+func (b *Broker) SetPendingTTL(ttl time.Duration) {
+	b.mu.Lock()
+	b.pendingTTL = ttl
+	b.mu.Unlock()
+}
+
+// expirePending drops parked connections nobody claimed within the
+// TTL; it runs opportunistically whenever a connection is parked.
+// Caller holds b.mu.
+func (b *Broker) expirePending(now time.Time) {
+	for tok, p := range b.pending {
+		if now.Sub(p.arrived) > b.pendingTTL {
+			p.conn.Close()
+			delete(b.pending, tok)
+		}
+	}
+}
+
+// Addr returns the broker's listen address, which identifies this node
+// to its peers.
+func (b *Broker) Addr() string { return b.addr }
+
+// BytesIn reports the total channel payload bytes received by this
+// node. The §4.3 redirection test uses these counters to prove that no
+// traffic relays through the original host after a second move.
+func (b *Broker) BytesIn() int64 { return b.bytesIn.Load() }
+
+// BytesOut reports the total channel payload bytes sent by this node.
+func (b *Broker) BytesOut() int64 { return b.bytesOut.Load() }
+
+// Close shuts the listener down and closes pending connections.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	pend := b.pending
+	b.pending = map[string]pendingConn{}
+	b.mu.Unlock()
+	err := b.ln.Close()
+	for _, p := range pend {
+		p.conn.Close()
+	}
+	<-b.acceptDone
+	return err
+}
+
+func (b *Broker) acceptLoop() {
+	defer close(b.acceptDone)
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		go b.handleConn(conn)
+	}
+}
+
+// handleConn reads the HELLO frame and delivers the connection to the
+// channel end waiting for its token, or parks it until that end
+// registers (a dial can win the race against the registration that a
+// redirect triggers on a third node).
+func (b *Broker) handleConn(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	f, err := readFrame(conn)
+	if err != nil || f.kind != frameHello {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if h, ok := b.waiting[f.token]; ok {
+		delete(b.waiting, f.token)
+		b.mu.Unlock()
+		h(conn, f.addr)
+		return
+	}
+	now := time.Now()
+	b.expirePending(now)
+	b.pending[f.token] = pendingConn{conn: conn, peerAddr: f.addr, arrived: now}
+	b.mu.Unlock()
+}
+
+// expect registers a handler for the next connection presenting token.
+// If such a connection already arrived, the handler fires immediately.
+func (b *Broker) expect(token string, h func(net.Conn, string)) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("netio: broker closed")
+	}
+	if p, ok := b.pending[token]; ok {
+		delete(b.pending, token)
+		b.mu.Unlock()
+		go h(p.conn, p.peerAddr)
+		return nil
+	}
+	if _, dup := b.waiting[token]; dup {
+		b.mu.Unlock()
+		return fmt.Errorf("netio: token %q already registered", token)
+	}
+	b.waiting[token] = h
+	b.mu.Unlock()
+	return nil
+}
+
+// dial opens a connection to a peer broker and sends the HELLO frame.
+func (b *Broker) dial(addr, token string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, frame{kind: frameHello, token: token, addr: b.addr}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+var tokenSeq atomic.Int64
+
+// NewToken returns a node-unique rendezvous token.
+func (b *Broker) NewToken() string {
+	return fmt.Sprintf("%s/%d", b.addr, tokenSeq.Add(1))
+}
+
+// countConn wraps a connection with the broker's byte counters,
+// counting only DATA payload flowing through links.
+type countConn struct {
+	net.Conn
+	b *Broker
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.b.bytesIn.Add(int64(n))
+	return n, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.b.bytesOut.Add(int64(n))
+	return n, err
+}
+
+// halfCloseWrite closes the write side of a TCP connection if
+// supported, flushing buffered data to the peer, and otherwise fully
+// closes it.
+func halfCloseWrite(conn net.Conn) {
+	type writeCloser interface{ CloseWrite() error }
+	c := conn
+	if cc, ok := c.(countConn); ok {
+		c = cc.Conn
+	}
+	if wc, ok := c.(writeCloser); ok {
+		wc.CloseWrite()
+		return
+	}
+	conn.Close()
+}

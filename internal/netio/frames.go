@@ -1,0 +1,163 @@
+// Package netio provides the network transport that keeps
+// process-network channels intact when program graphs are distributed
+// across machines (§4 of the paper). Each node runs one Broker with a
+// single TCP listener; every cross-node channel is carried by one
+// framed connection negotiated through rendezvous tokens. Links pump
+// bytes between a node-local channel pipe and the connection, so
+// processes always operate on ordinary local ports regardless of where
+// their peers execute.
+//
+// The protocol also implements the paper's decentralized redirection
+// (§4.3): when a channel end moves again, an in-band REDIRECT (writer
+// moving) or MOVING (reader moving) frame tells the *other* end to
+// rendezvous with the new host directly, so no traffic keeps flowing
+// through the original node.
+package netio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame type bytes. DATA/EOF/REDIRECT travel in the data direction
+// (writer host → reader host); CLOSEREAD/MOVING travel in the control
+// direction (reader host → writer host). HELLO opens every connection.
+const (
+	frameHello     = 'H' // token, brokerAddr — connection rendezvous
+	frameData      = 'D' // payload — channel bytes
+	frameEOF       = 'E' // writer closed; no more data
+	frameRedirect  = 'R' // token — writer end moving; expect a new HELLO(token)
+	frameCloseRead = 'C' // reader closed; poison the writer
+	frameMoving    = 'M' // addr, token — reader end moving; reconnect there
+	frameFence     = 'F' // data pauses here; resumes at the reader's new host
+	frameAck       = 'A' // count — receiver consumed payload bytes (flow control)
+)
+
+// maxFramePayload bounds frame payloads defensively.
+const maxFramePayload = 1 << 26
+
+// errBadFrame reports a malformed or unexpected frame.
+var errBadFrame = errors.New("netio: malformed frame")
+
+// frame is one decoded protocol frame.
+type frame struct {
+	kind    byte
+	payload []byte // DATA; its length is the credit amount for ACK writes
+	ack     int    // ACK — bytes consumed by the receiver
+	token   string // HELLO, REDIRECT, MOVING
+	addr    string // HELLO (sender's broker), MOVING (new reader host)
+}
+
+// writeFrame encodes f onto w. Callers serialize writes per connection
+// direction.
+func writeFrame(w io.Writer, f frame) error {
+	var hdr []byte
+	hdr = append(hdr, f.kind)
+	switch f.kind {
+	case frameData:
+		if len(f.payload) > maxFramePayload {
+			return fmt.Errorf("netio: frame payload %d too large", len(f.payload))
+		}
+		hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(f.payload)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		_, err := w.Write(f.payload)
+		return err
+	case frameEOF, frameCloseRead, frameFence:
+		_, err := w.Write(hdr)
+		return err
+	case frameAck:
+		hdr = binary.BigEndian.AppendUint32(hdr, uint32(f.ack))
+		_, err := w.Write(hdr)
+		return err
+	case frameRedirect:
+		hdr = appendString(hdr, f.token)
+		_, err := w.Write(hdr)
+		return err
+	case frameHello, frameMoving:
+		hdr = appendString(hdr, f.token)
+		hdr = appendString(hdr, f.addr)
+		_, err := w.Write(hdr)
+		return err
+	default:
+		return fmt.Errorf("netio: unknown frame kind %q", f.kind)
+	}
+}
+
+// readFrame decodes one frame from r.
+func readFrame(r io.Reader) (frame, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return frame{}, err
+	}
+	f := frame{kind: kind[0]}
+	switch f.kind {
+	case frameData:
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return frame{}, unexpected(err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxFramePayload {
+			return frame{}, errBadFrame
+		}
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, unexpected(err)
+		}
+	case frameEOF, frameCloseRead, frameFence:
+	case frameAck:
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return frame{}, unexpected(err)
+		}
+		f.ack = int(binary.BigEndian.Uint32(lenBuf[:]))
+	case frameRedirect:
+		tok, err := readString(r)
+		if err != nil {
+			return frame{}, err
+		}
+		f.token = tok
+	case frameHello, frameMoving:
+		tok, err := readString(r)
+		if err != nil {
+			return frame{}, err
+		}
+		addr, err := readString(r)
+		if err != nil {
+			return frame{}, err
+		}
+		f.token, f.addr = tok, addr
+	default:
+		return frame{}, errBadFrame
+	}
+	return f, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readString(r io.Reader) (string, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", unexpected(err)
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", unexpected(err)
+	}
+	return string(buf), nil
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

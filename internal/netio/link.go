@@ -1,0 +1,507 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// chunkSize is the outbound link's read granularity.
+const chunkSize = 32 * 1024
+
+// DefaultWindow is the flow-control window used when a link is created
+// with a non-positive window: the sender keeps at most this many
+// unacknowledged bytes in flight.
+const DefaultWindow = 256 * 1024
+
+// rendezvousTimeout bounds how long link setup waits for the peer.
+const rendezvousTimeout = 60 * time.Second
+
+// Handle tracks one cross-node channel link from this node's
+// perspective: either the sending half (outbound: local bytes flow to a
+// remote reader) or the receiving half (inbound: remote bytes flow into
+// a local pipe). A handle is created immediately by the Dial*/Serve*
+// calls; serve-mode handles become active when the peer connects.
+type Handle struct {
+	b        *Broker
+	outbound bool
+
+	mu       sync.Mutex
+	active   bool
+	peerAddr string
+	ready    chan struct{}
+
+	out *outboundLink
+	in  *inboundLink
+
+	done chan struct{}
+	err  error
+}
+
+func newHandle(b *Broker, outbound bool) *Handle {
+	return &Handle{
+		b:        b,
+		outbound: outbound,
+		ready:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Outbound reports whether this is the sending half.
+func (h *Handle) Outbound() bool { return h.outbound }
+
+// WaitReady blocks until the link is connected (or the timeout
+// elapses).
+func (h *Handle) WaitReady() error {
+	select {
+	case <-h.ready:
+		return nil
+	case <-time.After(rendezvousTimeout):
+		return errors.New("netio: rendezvous timed out")
+	}
+}
+
+// Wait blocks until the link has fully shut down and returns its
+// terminal error, if any.
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Done returns a channel closed when the link has shut down.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// PeerAddr returns the broker address of the other end (known once the
+// link is ready).
+func (h *Handle) PeerAddr() (string, error) {
+	if err := h.WaitReady(); err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.peerAddr, nil
+}
+
+func (h *Handle) finish(err error) {
+	h.mu.Lock()
+	if h.err == nil {
+		h.err = err
+	}
+	h.mu.Unlock()
+	close(h.done)
+}
+
+func (h *Handle) markReady(peerAddr string) {
+	h.mu.Lock()
+	if !h.active {
+		h.active = true
+		h.peerAddr = peerAddr
+		close(h.ready)
+	}
+	h.mu.Unlock()
+}
+
+// DialOutbound connects to a waiting reader host and pumps src (the
+// local byte source of the channel) to it. Used by the host that a
+// writer process has just moved to (§4.2). window bounds the
+// unacknowledged bytes in flight, preserving the channel's bounded-
+// capacity semantics across the network — kernel socket buffers would
+// otherwise add megabytes of invisible capacity (a non-positive window
+// selects DefaultWindow; the migration machinery passes the channel's
+// buffer capacity).
+func (b *Broker) DialOutbound(addr, token string, src io.ReadCloser, window int) (*Handle, error) {
+	conn, err := b.dial(addr, token)
+	if err != nil {
+		return nil, err
+	}
+	h := newHandle(b, true)
+	h.markReady(addr)
+	h.out = &outboundLink{h: h, src: src, window: normWindow(window)}
+	go h.out.run(countConn{conn, b})
+	return h, nil
+}
+
+// ServeOutbound waits for the reader host to connect (with the given
+// token) and then pumps src to it. Used by the origin host when a
+// reader process moves away (§4.2). See DialOutbound for window.
+func (b *Broker) ServeOutbound(token string, src io.ReadCloser, window int) (*Handle, error) {
+	h := newHandle(b, true)
+	h.out = &outboundLink{h: h, src: src, window: normWindow(window)}
+	err := b.expect(token, func(conn net.Conn, peerAddr string) {
+		h.markReady(peerAddr)
+		go h.out.run(countConn{conn, b})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func normWindow(w int) int {
+	if w <= 0 {
+		return DefaultWindow
+	}
+	return w
+}
+
+// DialInbound connects to a waiting writer host and pumps the received
+// bytes into dst (the write end of the local pipe behind the moved
+// reader port).
+func (b *Broker) DialInbound(addr, token string, dst io.WriteCloser) (*Handle, error) {
+	conn, err := b.dial(addr, token)
+	if err != nil {
+		return nil, err
+	}
+	h := newHandle(b, false)
+	h.markReady(addr)
+	h.in = &inboundLink{h: h, dst: dst}
+	cc := countConn{conn, b}
+	h.in.setConn(cc)
+	go h.in.run(cc)
+	return h, nil
+}
+
+// ServeInbound waits for the writer host to connect and then pumps the
+// received bytes into dst. Used by the origin host when a writer
+// process moves away, and by any host receiving a redirected writer
+// (§4.3).
+func (b *Broker) ServeInbound(token string, dst io.WriteCloser) (*Handle, error) {
+	h := newHandle(b, false)
+	h.in = &inboundLink{h: h, dst: dst}
+	err := b.expect(token, func(conn net.Conn, peerAddr string) {
+		cc := countConn{conn, b}
+		h.in.setConn(cc)
+		h.markReady(peerAddr)
+		go h.in.run(cc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Redirect arranges the §4.3 writer-side redirection: once src is
+// exhausted (the caller closes the local pipe's write end after
+// detaching the moving writer port), the link's final frame is
+// REDIRECT(token) instead of EOF, telling the reader host to await a
+// direct connection from the writer's new host. It returns the reader
+// host's broker address for the migration descriptor.
+func (h *Handle) Redirect(token string) (peerAddr string, err error) {
+	if !h.outbound {
+		return "", errors.New("netio: Redirect requires an outbound link")
+	}
+	if err := h.WaitReady(); err != nil {
+		return "", err
+	}
+	h.out.setRedirect(token)
+	return h.peerAddr, nil
+}
+
+// Move arranges the reader-side redirection (the dual of Redirect):
+// the writer host is told, over the control direction, to pause at a
+// fence and reconnect directly to the reader's new host. Move returns
+// after the fence has arrived and the link has shut down, at which
+// point every byte the writer sent is either in the local pipe or will
+// be delivered to the new host.
+func (h *Handle) Move(addr, token string) error {
+	if h.outbound {
+		return errors.New("netio: Move requires an inbound link")
+	}
+	if err := h.WaitReady(); err != nil {
+		return err
+	}
+	if err := h.in.sendMoving(addr, token); err != nil {
+		return err
+	}
+	return h.Wait()
+}
+
+// outboundLink pumps a local byte source to the remote reader host,
+// subject to a credit window: at most `window` bytes may be
+// unacknowledged, so the receiver's bounded pipe governs the sender's
+// progress end to end.
+type outboundLink struct {
+	h   *Handle
+	src io.ReadCloser
+
+	mu            sync.Mutex
+	redirectToken string
+
+	window   int
+	inFlight int
+
+	chunks     chan []byte
+	srcErr     error
+	readerOnce sync.Once
+}
+
+func (o *outboundLink) setRedirect(token string) {
+	o.mu.Lock()
+	o.redirectToken = token
+	o.mu.Unlock()
+}
+
+func (o *outboundLink) finalFrame() frame {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.redirectToken != "" {
+		return frame{kind: frameRedirect, token: o.redirectToken}
+	}
+	return frame{kind: frameEOF}
+}
+
+// startReader launches the goroutine that reads the source into the
+// chunk channel. It survives connection swaps (MOVING).
+func (o *outboundLink) startReader() {
+	o.readerOnce.Do(func() {
+		o.chunks = make(chan []byte)
+		go func() {
+			defer close(o.chunks)
+			buf := make([]byte, chunkSize)
+			for {
+				n, err := o.src.Read(buf)
+				if n > 0 {
+					c := make([]byte, n)
+					copy(c, buf[:n])
+					o.chunks <- c
+				}
+				if err != nil {
+					if err != io.EOF {
+						o.srcErr = err
+					}
+					return
+				}
+			}
+		}()
+	})
+}
+
+type ctrlEvent struct {
+	f   frame
+	err error
+}
+
+// ctrlOutcome describes how a control event changes the sender's
+// state.
+type ctrlOutcome int
+
+const (
+	ctrlContinue ctrlOutcome = iota // credit absorbed; keep going
+	ctrlStop                        // link is over (peer gone or reader closed)
+	ctrlMoved                       // reconnected to a new host; restart loops
+)
+
+// handleCtrl processes one control event. On ctrlMoved the new
+// connection (with a fresh control reader) is returned through *conn
+// and *ctrl.
+func (o *outboundLink) handleCtrl(ev ctrlEvent, conn *net.Conn, ctrl *chan ctrlEvent) ctrlOutcome {
+	switch {
+	case ev.err != nil:
+		// Peer vanished: poison the local writer so the process network
+		// observes termination (§3.4 across machines).
+		(*conn).Close()
+		o.src.Close()
+		o.h.finish(nil)
+		return ctrlStop
+	case ev.f.kind == frameAck:
+		o.inFlight -= ev.f.ack
+		if o.inFlight < 0 {
+			o.inFlight = 0
+		}
+		return ctrlContinue
+	case ev.f.kind == frameCloseRead:
+		// Remote reader closed: cascade the exception upstream.
+		(*conn).Close()
+		o.src.Close()
+		o.h.finish(nil)
+		return ctrlStop
+	case ev.f.kind == frameMoving:
+		// Reader host is moving: fence this connection and reconnect
+		// directly to the new host. Bytes on the old path land in the
+		// old host's leftover buffer, so the in-flight count resets.
+		writeFrame(*conn, frame{kind: frameFence})
+		halfCloseWrite(*conn)
+		(*conn).Close()
+		newConn, err := o.h.b.dial(ev.f.addr, ev.f.token)
+		if err != nil {
+			o.src.Close()
+			o.h.finish(fmt.Errorf("netio: reconnect after MOVING: %w", err))
+			return ctrlStop
+		}
+		o.h.mu.Lock()
+		o.h.peerAddr = ev.f.addr
+		o.h.mu.Unlock()
+		o.inFlight = 0
+		cc := countConn{newConn, o.h.b}
+		*conn = cc
+		*ctrl = make(chan ctrlEvent, 16)
+		go readCtrl(cc, *ctrl)
+		return ctrlMoved
+	default:
+		return ctrlContinue
+	}
+}
+
+func (o *outboundLink) run(conn net.Conn) {
+	o.startReader()
+	ctrl := make(chan ctrlEvent, 16)
+	go readCtrl(conn, ctrl)
+	for {
+		select {
+		case chunk, ok := <-o.chunks:
+			if !ok {
+				// Source exhausted (or poisoned): finish the stream.
+				err := o.srcErr
+				if err == nil {
+					err = writeFrame(conn, o.finalFrame())
+				}
+				halfCloseWrite(conn)
+				drainCtrl(conn, ctrl)
+				conn.Close()
+				o.h.finish(err)
+				return
+			}
+			// Flow control: wait for credit before sending, so the
+			// receiving pipe's capacity bounds the channel end to end.
+			for o.window > 0 && o.inFlight > 0 && o.inFlight+len(chunk) > o.window {
+				ev := <-ctrl
+				switch o.handleCtrl(ev, &conn, &ctrl) {
+				case ctrlStop:
+					return
+				default:
+				}
+			}
+			if err := writeFrame(conn, frame{kind: frameData, payload: chunk}); err != nil {
+				conn.Close()
+				o.src.Close()
+				o.h.finish(fmt.Errorf("netio: send failed: %w", err))
+				return
+			}
+			o.inFlight += len(chunk)
+		case ev := <-ctrl:
+			if o.handleCtrl(ev, &conn, &ctrl) == ctrlStop {
+				return
+			}
+		}
+	}
+}
+
+// readCtrl forwards control frames from the reader host.
+func readCtrl(conn net.Conn, ctrl chan<- ctrlEvent) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			ctrl <- ctrlEvent{err: err}
+			return
+		}
+		ctrl <- ctrlEvent{f: f}
+		if f.kind == frameMoving {
+			return // connection is being abandoned
+		}
+	}
+}
+
+// drainCtrl waits briefly for the peer to finish with the connection
+// after the final frame, so buffered data is not reset.
+func drainCtrl(conn net.Conn, ctrl <-chan ctrlEvent) {
+	select {
+	case <-ctrl:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// inboundLink pumps received bytes into the local pipe behind a reader
+// port.
+type inboundLink struct {
+	h   *Handle
+	dst io.WriteCloser
+
+	mu     sync.Mutex
+	conn   net.Conn
+	moving bool
+}
+
+func (i *inboundLink) sendMoving(addr, token string) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.conn == nil {
+		return errors.New("netio: link not connected")
+	}
+	i.moving = true
+	return writeFrame(i.conn, frame{kind: frameMoving, token: token, addr: addr})
+}
+
+func (i *inboundLink) setConn(conn net.Conn) {
+	i.mu.Lock()
+	i.conn = conn
+	i.mu.Unlock()
+}
+
+func (i *inboundLink) run(conn net.Conn) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			// Connection lost. If we initiated a move, the fence may
+			// have raced the close; either way the remaining bytes (if
+			// any) are gone only if the writer crashed — close the data
+			// stream so the local reader terminates.
+			i.mu.Lock()
+			moving := i.moving
+			i.mu.Unlock()
+			conn.Close()
+			if !moving {
+				i.dst.Close()
+			}
+			i.h.finish(nil)
+			return
+		}
+		switch f.kind {
+		case frameData:
+			if _, err := i.dst.Write(f.payload); err != nil {
+				// Local reader closed: cascade upstream (§3.4).
+				i.mu.Lock()
+				writeFrame(conn, frame{kind: frameCloseRead})
+				i.mu.Unlock()
+				conn.Close()
+				i.h.finish(nil)
+				return
+			}
+			// Grant the sender credit for the consumed bytes.
+			i.mu.Lock()
+			writeFrame(conn, frame{kind: frameAck, ack: len(f.payload)})
+			i.mu.Unlock()
+		case frameEOF:
+			i.dst.Close()
+			conn.Close()
+			i.h.finish(nil)
+			return
+		case frameFence:
+			// We asked the writer to move to a new host; the stream
+			// pauses here and resumes there. Do not close dst: the
+			// migration machinery drains it into the descriptor.
+			conn.Close()
+			i.h.finish(nil)
+			return
+		case frameRedirect:
+			// Writer end is moving: re-arm the rendezvous on our broker
+			// with the announced token; the writer's new host will
+			// connect directly (§4.3).
+			_, err := i.h.b.ServeInbound(f.token, i.dst)
+			conn.Close()
+			if err != nil {
+				i.h.finish(fmt.Errorf("netio: redirect re-arm: %w", err))
+				return
+			}
+			i.h.finish(nil)
+			return
+		default:
+			conn.Close()
+			i.dst.Close()
+			i.h.finish(errBadFrame)
+			return
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package proclib is the standard process library for the
+// process-network runtime: the concrete process types used throughout
+// the paper's examples — sources (Constant, Sequence), plumbing
+// (Duplicate, Cons, PassThrough), arithmetic (Add, Scale, Divide,
+// Average, Equal), the Sieve of Eratosthenes (Modulo, Sift,
+// SiftRecursive), ordered merging for the Hamming network, the Figure 13
+// splitter, static scatter/gather, and sinks (Print, Collect, Discard).
+//
+// Conventions:
+//
+//   - Channels carry bytes; these processes layer typed elements on top
+//     with package token (int64 and float64 elements are 8 bytes,
+//     variable-size elements are length-prefixed blocks).
+//   - Every process type has exported fields only, is registered with
+//     encoding/gob, and holds its ports in exported fields so the
+//     runtime can discover and close them when the process stops — and
+//     so graphs can be serialized to remote compute servers.
+//   - Processes with a natural iteration count embed core.Iterative;
+//     setting Iterations imposes the fixed iteration limit of §3.4.
+package proclib

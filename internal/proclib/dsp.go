@@ -1,0 +1,147 @@
+package proclib
+
+import (
+	"dpn/internal/core"
+	"dpn/internal/token"
+)
+
+// The paper motivates process networks with signal processing
+// applications ("they are well suited to a variety of signal
+// processing and scientific computation applications", §1). This file
+// provides the basic streaming DSP blocks a sample-rate application
+// needs: an FIR filter, a unit-delay line, a decimator, and an
+// upsampler. All operate on float64 sample streams.
+
+// FIR is a finite-impulse-response filter: each output sample is the
+// dot product of the coefficient vector with the most recent input
+// samples, y[n] = Σ Taps[k]·x[n−k]. The filter history starts at zero
+// (the stream is treated as preceded by silence).
+type FIR struct {
+	core.Iterative
+	Taps []float64
+	In   *core.ReadPort
+	Out  *core.WritePort
+
+	history []float64 // ring of the last len(Taps) inputs
+	pos     int
+	primed  bool
+}
+
+// Step implements core.Stepper.
+func (f *FIR) Step(env *core.Env) error {
+	if !f.primed {
+		f.history = make([]float64, len(f.Taps))
+		f.primed = true
+	}
+	x, err := token.NewReader(f.In).ReadFloat64()
+	if err != nil {
+		return err
+	}
+	f.history[f.pos] = x
+	acc := 0.0
+	idx := f.pos
+	for _, tap := range f.Taps {
+		acc += tap * f.history[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.history) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.history) {
+		f.pos = 0
+	}
+	return token.NewWriter(f.Out).WriteFloat64(acc)
+}
+
+// Delay outputs Initial values first and then echoes its input — the
+// z⁻ᵏ operator of dataflow diagrams, and exactly a float64 Cons. It is
+// the standard way to break feedback loops in signal-processing
+// graphs.
+type Delay struct {
+	core.Iterative
+	Initial []float64
+	In      *core.ReadPort
+	Out     *core.WritePort
+
+	emitted bool
+}
+
+// OnStart implements core.Starter: the initial samples are produced
+// before any input is consumed.
+func (d *Delay) OnStart(env *core.Env) error {
+	w := token.NewWriter(d.Out)
+	for _, v := range d.Initial {
+		if err := w.WriteFloat64(v); err != nil {
+			return err
+		}
+	}
+	d.emitted = true
+	return nil
+}
+
+// Step implements core.Stepper.
+func (d *Delay) Step(env *core.Env) error {
+	v, err := token.NewReader(d.In).ReadFloat64()
+	if err != nil {
+		return err
+	}
+	return token.NewWriter(d.Out).WriteFloat64(v)
+}
+
+// Decimate keeps one sample of every Factor input samples (the first
+// of each group), reducing the sample rate.
+type Decimate struct {
+	core.Iterative
+	Factor int
+	In     *core.ReadPort
+	Out    *core.WritePort
+}
+
+// Step implements core.Stepper.
+func (d *Decimate) Step(env *core.Env) error {
+	r := token.NewReader(d.In)
+	keep, err := r.ReadFloat64()
+	if err != nil {
+		return err
+	}
+	n := d.Factor
+	if n < 1 {
+		n = 1
+	}
+	for i := 1; i < n; i++ {
+		if _, err := r.ReadFloat64(); err != nil {
+			return err
+		}
+	}
+	return token.NewWriter(d.Out).WriteFloat64(keep)
+}
+
+// Upsample emits each input sample followed by Factor−1 zeros,
+// raising the sample rate (zero-stuffing; follow with an FIR to
+// interpolate).
+type Upsample struct {
+	core.Iterative
+	Factor int
+	In     *core.ReadPort
+	Out    *core.WritePort
+}
+
+// Step implements core.Stepper.
+func (u *Upsample) Step(env *core.Env) error {
+	v, err := token.NewReader(u.In).ReadFloat64()
+	if err != nil {
+		return err
+	}
+	w := token.NewWriter(u.Out)
+	if err := w.WriteFloat64(v); err != nil {
+		return err
+	}
+	n := u.Factor
+	for i := 1; i < n; i++ {
+		if err := w.WriteFloat64(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

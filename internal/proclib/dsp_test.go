@@ -1,0 +1,152 @@
+package proclib
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dpn/internal/core"
+)
+
+func runFloats(t *testing.T, in []float64, build func(n *core.Network, src *core.ReadPort, dst *core.WritePort)) []float64 {
+	t.Helper()
+	n := core.NewNetwork()
+	a := n.NewChannel("a", 0)
+	b := n.NewChannel("b", 0)
+	n.Spawn(&FloatSliceSource{Values: in, Out: a.Writer()})
+	build(n, a.Reader(), b.Writer())
+	sink := &CollectFloat{In: b.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Values()
+}
+
+func TestFIRIdentity(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	got := runFloats(t, in, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+		n.Spawn(&FIR{Taps: []float64{1}, In: src, Out: dst})
+	})
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFIRMovingAverage(t *testing.T) {
+	got := runFloats(t, []float64{2, 4, 6, 8}, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+		n.Spawn(&FIR{Taps: []float64{0.5, 0.5}, In: src, Out: dst})
+	})
+	want := []float64{1, 3, 5, 7} // history starts at silence
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Property: an FIR filter is linear: F(a·x) = a·F(x).
+func TestFIRLinearityProperty(t *testing.T) {
+	f := func(raw []float64, scale float64) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true // skip degenerate inputs
+			}
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e6 {
+			return true
+		}
+		taps := []float64{0.25, 0.5, 0.25}
+		base := runFloats(t, raw, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+			n.Spawn(&FIR{Taps: taps, In: src, Out: dst})
+		})
+		scaled := make([]float64, len(raw))
+		for i, v := range raw {
+			scaled[i] = v * scale
+		}
+		got := runFloats(t, scaled, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+			n.Spawn(&FIR{Taps: taps, In: src, Out: dst})
+		})
+		for i := range base {
+			want := base[i] * scale
+			if math.Abs(got[i]-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayPrependsInitialSamples(t *testing.T) {
+	got := runFloats(t, []float64{10, 20}, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+		n.Spawn(&Delay{Initial: []float64{0, 0}, In: src, Out: dst})
+	})
+	want := []float64{0, 0, 10, 20}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	got := runFloats(t, []float64{1, 2, 3, 4, 5, 6}, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+		n.Spawn(&Decimate{Factor: 3, In: src, Out: dst})
+	})
+	if !reflect.DeepEqual(got, []float64{1, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUpsample(t *testing.T) {
+	got := runFloats(t, []float64{1, 2}, func(n *core.Network, src *core.ReadPort, dst *core.WritePort) {
+		n.Spawn(&Upsample{Factor: 3, In: src, Out: dst})
+	})
+	if !reflect.DeepEqual(got, []float64{1, 0, 0, 2, 0, 0}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Decimate(k) ∘ Upsample(k) is the identity — a classic multirate
+// sanity property, run through a real two-stage network.
+func TestUpsampleDecimateIdentityProperty(t *testing.T) {
+	f := func(raw []float64, kSeed uint8) bool {
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		k := int(kSeed)%4 + 1
+		n := core.NewNetwork()
+		a := n.NewChannel("a", 0)
+		b := n.NewChannel("b", 0)
+		c := n.NewChannel("c", 0)
+		n.Spawn(&FloatSliceSource{Values: raw, Out: a.Writer()})
+		n.Spawn(&Upsample{Factor: k, In: a.Reader(), Out: b.Writer()})
+		n.Spawn(&Decimate{Factor: k, In: b.Reader(), Out: c.Writer()})
+		sink := &CollectFloat{In: c.Reader()}
+		n.Spawn(sink)
+		if n.Wait() != nil {
+			return false
+		}
+		got := sink.Values()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

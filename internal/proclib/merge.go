@@ -1,0 +1,139 @@
+package proclib
+
+import (
+	"io"
+
+	"dpn/internal/core"
+	"dpn/internal/token"
+)
+
+// OrderedMerge merges N ascending int64 streams into one ascending
+// stream, eliminating duplicates — the Merge process of the Hamming
+// network (Figure 12). An input that reaches end of stream simply drops
+// out of the merge; the merge itself ends when every input has ended.
+type OrderedMerge struct {
+	core.Iterative
+	Ins []*core.ReadPort
+	Out *core.WritePort
+
+	heads  []int64
+	loaded []bool
+	done   []bool
+	init   bool
+}
+
+// Step implements core.Stepper. Each step emits one element.
+func (m *OrderedMerge) Step(env *core.Env) error {
+	if !m.init {
+		m.heads = make([]int64, len(m.Ins))
+		m.loaded = make([]bool, len(m.Ins))
+		m.done = make([]bool, len(m.Ins))
+		m.init = true
+	}
+	// Fill every head slot.
+	for i := range m.Ins {
+		if m.loaded[i] || m.done[i] {
+			continue
+		}
+		v, err := token.NewReader(m.Ins[i]).ReadInt64()
+		if err == io.EOF {
+			m.done[i] = true
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		m.heads[i] = v
+		m.loaded[i] = true
+	}
+	// Find the minimum head.
+	var minV int64
+	found := false
+	for i := range m.Ins {
+		if m.loaded[i] && (!found || m.heads[i] < minV) {
+			minV = m.heads[i]
+			found = true
+		}
+	}
+	if !found {
+		return io.EOF // every input ended
+	}
+	// Consume the minimum from every input that carries it (dedup).
+	for i := range m.Ins {
+		if m.loaded[i] && m.heads[i] == minV {
+			m.loaded[i] = false
+		}
+	}
+	return token.NewWriter(m.Out).WriteInt64(minV)
+}
+
+// ModSplit is the "mod" process of Figure 13: values divisible by N go
+// to OutMultiple, all other values go to OutOther. With a small
+// OutOther buffer the downstream ordered merge deadlocks even though
+// the graph is acyclic — the paper's demonstration that bounded
+// channels need run-time buffer management.
+type ModSplit struct {
+	core.Iterative
+	N           int64
+	In          *core.ReadPort
+	OutMultiple *core.WritePort
+	OutOther    *core.WritePort
+}
+
+// Step implements core.Stepper.
+func (m *ModSplit) Step(env *core.Env) error {
+	v, err := token.NewReader(m.In).ReadInt64()
+	if err != nil {
+		return err
+	}
+	if v%m.N == 0 {
+		return token.NewWriter(m.OutMultiple).WriteInt64(v)
+	}
+	return token.NewWriter(m.OutOther).WriteInt64(v)
+}
+
+// Scatter distributes length-prefixed blocks from In to its outputs in
+// round-robin order — the static load-balancing distributor of
+// Figure 16: every worker receives the same number of tasks.
+type Scatter struct {
+	core.Iterative
+	In   *core.ReadPort
+	Outs []*core.WritePort
+
+	next int
+}
+
+// Step implements core.Stepper.
+func (s *Scatter) Step(env *core.Env) error {
+	b, err := token.NewReader(s.In).ReadBlock()
+	if err != nil {
+		return err
+	}
+	out := s.Outs[s.next]
+	s.next = (s.next + 1) % len(s.Outs)
+	return token.NewWriter(out).WriteBlock(b)
+}
+
+// Gather collects length-prefixed blocks from its inputs in round-robin
+// order — the static load-balancing collector of Figure 16. Because it
+// insists on reading from worker k before worker k+1, all workers
+// proceed in lock-step with the slowest one, which is exactly the
+// behaviour the paper's evaluation shows to be wasteful on heterogeneous
+// clusters.
+type Gather struct {
+	core.Iterative
+	Ins []*core.ReadPort
+	Out *core.WritePort
+
+	next int
+}
+
+// Step implements core.Stepper.
+func (g *Gather) Step(env *core.Env) error {
+	b, err := token.NewReader(g.Ins[g.next]).ReadBlock()
+	if err != nil {
+		return err
+	}
+	g.next = (g.next + 1) % len(g.Ins)
+	return token.NewWriter(g.Out).WriteBlock(b)
+}

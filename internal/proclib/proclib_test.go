@@ -1,0 +1,617 @@
+package proclib
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dpn/internal/core"
+	"dpn/internal/token"
+)
+
+// run builds a network, applies build, waits for completion, and fails
+// the test on any process error.
+func run(t *testing.T, build func(n *core.Network)) {
+	t.Helper()
+	n := core.NewNetwork()
+	build(n)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eqInt64(t *testing.T, got, want []int64) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	c := &Constant{Value: 7, Out: ch.Writer()}
+	c.Iterations = 3
+	n.Spawn(c)
+	sink := &Collect{In: ch.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	eqInt64(t, sink.Values(), []int64{7, 7, 7})
+}
+
+func TestSequenceStrideAndLimit(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	s := &Sequence{From: 10, Stride: 5, Out: ch.Writer()}
+	s.Iterations = 4
+	n.Spawn(s)
+	sink := &Collect{In: ch.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	eqInt64(t, sink.Values(), []int64{10, 15, 20, 25})
+}
+
+func TestSequenceDefaultStride(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	s := &Sequence{From: 2, Out: ch.Writer()}
+	s.Iterations = 3
+	n.Spawn(s)
+	sink := &Collect{In: ch.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{2, 3, 4})
+}
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	n.Spawn(&SliceSource{Values: []int64{5, -3, 0}, Out: ch.Writer()})
+	sink := &Collect{In: ch.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{5, -3, 0})
+}
+
+func TestFloatSliceSourceAndCollectFloat(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	n.Spawn(&FloatSliceSource{Values: []float64{1.5, math.Pi}, Out: ch.Writer()})
+	sink := &CollectFloat{In: ch.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	got := sink.Values()
+	if len(got) != 2 || got[0] != 1.5 || got[1] != math.Pi {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	n := core.NewNetwork()
+	a := n.NewChannel("a", 0)
+	b := n.NewChannel("b", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 2, 3}, Out: a.Writer()})
+	n.Spawn(&PassThrough{In: a.Reader(), Out: b.Writer()})
+	sink := &Collect{In: b.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{1, 2, 3})
+}
+
+func TestDuplicateThreeWays(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	outs := []*core.Channel{n.NewChannel("o1", 0), n.NewChannel("o2", 0), n.NewChannel("o3", 0)}
+	n.Spawn(&SliceSource{Values: []int64{4, 5, 6}, Out: in.Writer()})
+	n.Spawn(&Duplicate{In: in.Reader(), Outs: []*core.WritePort{
+		outs[0].Writer(), outs[1].Writer(), outs[2].Writer(),
+	}})
+	sinks := make([]*Collect, 3)
+	for i, o := range outs {
+		sinks[i] = &Collect{In: o.Reader()}
+		n.Spawn(sinks[i])
+	}
+	n.Wait()
+	for i := range sinks {
+		eqInt64(t, sinks[i].Values(), []int64{4, 5, 6})
+	}
+}
+
+func TestConsHeadBytes(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	n.Spawn(&SliceSource{Values: []int64{2, 3}, Out: in.Writer()})
+	n.Spawn(NewConsInt64(1, in.Reader(), out.Writer(), false))
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{1, 2, 3})
+}
+
+func TestConsHeadStream(t *testing.T) {
+	n := core.NewNetwork()
+	head := n.NewChannel("head", 0)
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	c := &Constant{Value: 9, Out: head.Writer()}
+	c.Iterations = 2
+	n.Spawn(c)
+	n.Spawn(&SliceSource{Values: []int64{1}, Out: in.Writer()})
+	n.Spawn(&Cons{HeadIn: head.Reader(), In: in.Reader(), Out: out.Writer()})
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{9, 9, 1})
+}
+
+func TestConsSelfRemove(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	vals := make([]int64, 50)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	n.Spawn(&SliceSource{Values: vals, Out: in.Writer()})
+	n.Spawn(NewConsInt64(-1, in.Reader(), out.Writer(), true))
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int64{-1}, vals...)
+	eqInt64(t, sink.Values(), want)
+}
+
+func TestNewConsFloat64(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	n.Spawn(&FloatSliceSource{Values: []float64{2.5}, Out: in.Writer()})
+	n.Spawn(NewConsFloat64(1.5, in.Reader(), out.Writer(), false))
+	sink := &CollectFloat{In: out.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	got := sink.Values()
+	if len(got) != 2 || got[0] != 1.5 || got[1] != 2.5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTakeBoundsInfiniteStream(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	n.Spawn(&Sequence{From: 0, Out: in.Writer()}) // unbounded
+	n.Spawn(&Take{N: 4, In: in.Reader(), Out: out.Writer()})
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	eqInt64(t, sink.Values(), []int64{0, 1, 2, 3})
+}
+
+func TestDiscard(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 2, 3}, Out: in.Writer()})
+	n.Spawn(&Discard{In: in.Reader()})
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	n := core.NewNetwork()
+	a := n.NewChannel("a", 0)
+	b := n.NewChannel("b", 0)
+	o := n.NewChannel("o", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 2, 3}, Out: a.Writer()})
+	n.Spawn(&SliceSource{Values: []int64{10, 20, 30}, Out: b.Writer()})
+	n.Spawn(&Add{InA: a.Reader(), InB: b.Reader(), Out: o.Writer()})
+	sink := &Collect{In: o.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{11, 22, 33})
+}
+
+func TestScale(t *testing.T) {
+	n := core.NewNetwork()
+	a := n.NewChannel("a", 0)
+	o := n.NewChannel("o", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, -2, 3}, Out: a.Writer()})
+	n.Spawn(&Scale{Factor: 5, In: a.Reader(), Out: o.Writer()})
+	sink := &Collect{In: o.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{5, -10, 15})
+}
+
+func TestDivideAverageEqual(t *testing.T) {
+	n := core.NewNetwork()
+	a := n.NewChannel("a", 0)
+	b := n.NewChannel("b", 0)
+	q := n.NewChannel("q", 0)
+	n.Spawn(&FloatSliceSource{Values: []float64{8, 9}, Out: a.Writer()})
+	n.Spawn(&FloatSliceSource{Values: []float64{2, 3}, Out: b.Writer()})
+	n.Spawn(&Divide{InA: a.Reader(), InB: b.Reader(), Out: q.Writer()})
+	sink := &CollectFloat{In: q.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	got := sink.Values()
+	if len(got) != 2 || got[0] != 4 || got[1] != 3 {
+		t.Fatalf("Divide got %v", got)
+	}
+
+	n2 := core.NewNetwork()
+	a2 := n2.NewChannel("a", 0)
+	b2 := n2.NewChannel("b", 0)
+	o2 := n2.NewChannel("o", 0)
+	n2.Spawn(&FloatSliceSource{Values: []float64{1, 10}, Out: a2.Writer()})
+	n2.Spawn(&FloatSliceSource{Values: []float64{3, 30}, Out: b2.Writer()})
+	n2.Spawn(&Average{InA: a2.Reader(), InB: b2.Reader(), Out: o2.Writer()})
+	s2 := &CollectFloat{In: o2.Reader()}
+	n2.Spawn(s2)
+	n2.Wait()
+	got2 := s2.Values()
+	if len(got2) != 2 || got2[0] != 2 || got2[1] != 20 {
+		t.Fatalf("Average got %v", got2)
+	}
+}
+
+func TestEqualExactAndTolerance(t *testing.T) {
+	check := func(tol float64, a, b []float64, want []bool) {
+		t.Helper()
+		n := core.NewNetwork()
+		ca := n.NewChannel("a", 0)
+		cb := n.NewChannel("b", 0)
+		co := n.NewChannel("o", 0)
+		n.Spawn(&FloatSliceSource{Values: a, Out: ca.Writer()})
+		n.Spawn(&FloatSliceSource{Values: b, Out: cb.Writer()})
+		n.Spawn(&Equal{InA: ca.Reader(), InB: cb.Reader(), Out: co.Writer(), Tolerance: tol})
+		got := readBools(t, n, co.Reader(), len(want))
+		n.Wait()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tol=%v: got %v, want %v", tol, got, want)
+		}
+	}
+	check(0, []float64{1, 2}, []float64{1, 2.0001}, []bool{true, false})
+	check(0.001, []float64{1, 2}, []float64{1.0005, 2.01}, []bool{true, false})
+}
+
+func readBools(t *testing.T, n *core.Network, in *core.ReadPort, count int) []bool {
+	t.Helper()
+	r := token.NewReader(in)
+	out := make([]bool, 0, count)
+	for i := 0; i < count; i++ {
+		v, err := r.ReadBool()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	in.Close()
+	return out
+}
+
+func TestGuardPassesAndDiscards(t *testing.T) {
+	n := core.NewNetwork()
+	data := n.NewChannel("data", 0)
+	ctl := n.NewChannel("ctl", 0)
+	out := n.NewChannel("out", 0)
+	n.Spawn(&FloatSliceSource{Values: []float64{1, 2, 3, 4}, Out: data.Writer()})
+	n.Spawn(&boolSource{vals: []bool{false, true, false, true}, Out: ctl.Writer()})
+	n.Spawn(&Guard{In: data.Reader(), Control: ctl.Reader(), Out: out.Writer()})
+	sink := &CollectFloat{In: out.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	got := sink.Values()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGuardStopAfterPass(t *testing.T) {
+	n := core.NewNetwork()
+	data := n.NewChannel("data", 0)
+	ctl := n.NewChannel("ctl", 0)
+	out := n.NewChannel("out", 0)
+	// Unbounded inputs: only the guard's data-dependent stop ends them.
+	n.Spawn(&ConstantFloat{Value: 42, Out: data.Writer()})
+	n.Spawn(&boolSource{vals: []bool{false, false, true}, repeatLast: true, Out: ctl.Writer()})
+	n.Spawn(&Guard{In: data.Reader(), Control: ctl.Reader(), Out: out.Writer(), StopAfterPass: true})
+	sink := &CollectFloat{In: out.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Values()
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// boolSource emits a fixed bool pattern, optionally repeating the last
+// value forever.
+type boolSource struct {
+	vals       []bool
+	repeatLast bool
+	Out        *core.WritePort
+	i          int
+}
+
+func (b *boolSource) Step(env *core.Env) error {
+	var v bool
+	switch {
+	case b.i < len(b.vals):
+		v = b.vals[b.i]
+		b.i++
+	case b.repeatLast && len(b.vals) > 0:
+		v = b.vals[len(b.vals)-1]
+	default:
+		return io.EOF
+	}
+	return token.NewWriter(b.Out).WriteBool(v)
+}
+
+func TestModuloFilters(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	n.Spawn(&SliceSource{Values: []int64{2, 3, 4, 5, 6, 7, 8, 9}, Out: in.Writer()})
+	n.Spawn(&Modulo{P: 2, In: in.Reader(), Out: out.Writer()})
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{3, 5, 7, 9})
+}
+
+// referencePrimes returns all primes < limit by trial division.
+func referencePrimes(limit int64) []int64 {
+	var out []int64
+	for v := int64(2); v < limit; v++ {
+		isP := true
+		for d := int64(2); d*d <= v; d++ {
+			if v%d == 0 {
+				isP = false
+				break
+			}
+		}
+		if isP {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestSieveIterativeBounded(t *testing.T) {
+	n := core.NewNetwork()
+	src := n.NewChannel("src", 0)
+	out := n.NewChannel("out", 0)
+	seq := &Sequence{From: 2, Out: src.Writer()}
+	seq.Iterations = 98 // 2..99
+	n.Spawn(seq)
+	n.Spawn(&Sift{In: src.Reader(), Out: out.Writer()})
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	eqInt64(t, sink.Values(), referencePrimes(100))
+}
+
+func TestSieveRecursiveBounded(t *testing.T) {
+	n := core.NewNetwork()
+	src := n.NewChannel("src", 0)
+	out := n.NewChannel("out", 0)
+	seq := &Sequence{From: 2, Out: src.Writer()}
+	seq.Iterations = 98
+	n.Spawn(seq)
+	n.Spawn(&SiftRecursive{In: src.Reader(), Out: out.Writer()})
+	sink := &Collect{In: out.Reader()}
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	eqInt64(t, sink.Values(), referencePrimes(100))
+}
+
+func TestSieveFirstNPrimesTerminatesUpstream(t *testing.T) {
+	// Unbounded integer source; the sink's iteration limit poisons the
+	// chain (§3.4 "compute the first 100 prime numbers").
+	n := core.NewNetwork()
+	src := n.NewChannel("src", 0)
+	out := n.NewChannel("out", 0)
+	n.Spawn(&Sequence{From: 2, Out: src.Writer()})
+	n.Spawn(&Sift{In: src.Reader(), Out: out.Writer()})
+	sink := &Collect{In: out.Reader()}
+	sink.Iterations = 25
+	n.Spawn(sink)
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := referencePrimes(100) // 25 primes below 100
+	eqInt64(t, sink.Values(), want[:25])
+}
+
+func TestOrderedMergeDedup(t *testing.T) {
+	n := core.NewNetwork()
+	a := n.NewChannel("a", 0)
+	b := n.NewChannel("b", 0)
+	c := n.NewChannel("c", 0)
+	o := n.NewChannel("o", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 3, 5, 7}, Out: a.Writer()})
+	n.Spawn(&SliceSource{Values: []int64{1, 2, 3}, Out: b.Writer()})
+	n.Spawn(&SliceSource{Values: []int64{6}, Out: c.Writer()})
+	n.Spawn(&OrderedMerge{Ins: []*core.ReadPort{a.Reader(), b.Reader(), c.Reader()}, Out: o.Writer()})
+	sink := &Collect{In: o.Reader()}
+	n.Spawn(sink)
+	n.Wait()
+	eqInt64(t, sink.Values(), []int64{1, 2, 3, 5, 6, 7})
+}
+
+func TestOrderedMergeProperty(t *testing.T) {
+	f := func(xs, ys []int64) bool {
+		sortInt64(xs)
+		sortInt64(ys)
+		xs = dedup(xs)
+		ys = dedup(ys)
+		n := core.NewNetwork()
+		a := n.NewChannel("a", 0)
+		b := n.NewChannel("b", 0)
+		o := n.NewChannel("o", 0)
+		n.Spawn(&SliceSource{Values: xs, Out: a.Writer()})
+		n.Spawn(&SliceSource{Values: ys, Out: b.Writer()})
+		n.Spawn(&OrderedMerge{Ins: []*core.ReadPort{a.Reader(), b.Reader()}, Out: o.Writer()})
+		sink := &Collect{In: o.Reader()}
+		n.Spawn(sink)
+		if n.Wait() != nil {
+			return false
+		}
+		want := dedup(mergeSorted(xs, ys))
+		return reflect.DeepEqual(sink.Values(), want) ||
+			(len(want) == 0 && len(sink.Values()) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInt64(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func dedup(xs []int64) []int64 {
+	var out []int64
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func mergeSorted(a, b []int64) []int64 {
+	out := append(append([]int64{}, a...), b...)
+	sortInt64(out)
+	return out
+}
+
+func TestModSplit(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	mul := n.NewChannel("mul", 0)
+	oth := n.NewChannel("oth", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 2, 3, 4, 5, 6}, Out: in.Writer()})
+	n.Spawn(&ModSplit{N: 3, In: in.Reader(), OutMultiple: mul.Writer(), OutOther: oth.Writer()})
+	s1 := &Collect{In: mul.Reader()}
+	s2 := &Collect{In: oth.Reader()}
+	n.Spawn(s1)
+	n.Spawn(s2)
+	n.Wait()
+	eqInt64(t, s1.Values(), []int64{3, 6})
+	eqInt64(t, s2.Values(), []int64{1, 2, 4, 5})
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	// Scatter blocks to 3 paths and gather them back: order preserved.
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out := n.NewChannel("out", 0)
+	mids := make([]*core.Channel, 3)
+	ins := make([]*core.ReadPort, 3)
+	outs := make([]*core.WritePort, 3)
+	for i := range mids {
+		mids[i] = n.NewChannel("m", 0)
+		outs[i] = mids[i].Writer()
+		ins[i] = mids[i].Reader()
+	}
+	go func() {
+		w := token.NewWriter(in.Writer())
+		for i := 0; i < 10; i++ {
+			w.WriteBlock([]byte{byte(i)})
+		}
+		in.Writer().Close()
+	}()
+	n.Spawn(&Scatter{In: in.Reader(), Outs: outs})
+	n.Spawn(&Gather{Ins: ins, Out: out.Writer()})
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r := token.NewReader(out.Reader())
+		for {
+			b, err := r.ReadBlock()
+			if err != nil {
+				return
+			}
+			got = append(got, b...)
+		}
+	}()
+	n.Wait()
+	<-done
+	want := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestPrintFormats(t *testing.T) {
+	var buf bytes.Buffer
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 2}, Out: ch.Writer()})
+	p := &Print{In: ch.Reader(), Label: "x"}
+	p.SetOutput(&buf)
+	n.Spawn(p)
+	n.Wait()
+	if got := buf.String(); got != "x: 1\nx: 2\n" {
+		t.Fatalf("got %q", got)
+	}
+
+	buf.Reset()
+	n2 := core.NewNetwork()
+	ch2 := n2.NewChannel("c", 0)
+	n2.Spawn(&FloatSliceSource{Values: []float64{0.5}, Out: ch2.Writer()})
+	p2 := &Print{In: ch2.Reader(), Format: "float64"}
+	p2.SetOutput(&buf)
+	n2.Spawn(p2)
+	n2.Wait()
+	if got := buf.String(); got != "0.5\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPrintBadFormat(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	n.Spawn(&SliceSource{Values: []int64{1}, Out: ch.Writer()})
+	p := &Print{In: ch.Reader(), Format: "nope"}
+	p.SetOutput(io.Discard)
+	n.Spawn(p)
+	if err := n.Wait(); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestCount(t *testing.T) {
+	n := core.NewNetwork()
+	ch := n.NewChannel("c", 0)
+	n.Spawn(&SliceSource{Values: []int64{1, 2, 3, 4}, Out: ch.Writer()})
+	c := &Count{In: ch.Reader()}
+	n.Spawn(c)
+	n.Wait()
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+}

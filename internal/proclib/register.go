@@ -1,0 +1,41 @@
+package proclib
+
+import "encoding/gob"
+
+// init registers every process type with gob so that graphs built from
+// library processes can be serialized to remote compute servers. The
+// registration mirrors the role of having class files available to the
+// Java deserializer.
+func init() {
+	gob.Register(&Constant{})
+	gob.Register(&ConstantFloat{})
+	gob.Register(&Sequence{})
+	gob.Register(&SliceSource{})
+	gob.Register(&FloatSliceSource{})
+	gob.Register(&PassThrough{})
+	gob.Register(&Duplicate{})
+	gob.Register(&Cons{})
+	gob.Register(&Discard{})
+	gob.Register(&Take{})
+	gob.Register(&Add{})
+	gob.Register(&Scale{})
+	gob.Register(&Divide{})
+	gob.Register(&Average{})
+	gob.Register(&Equal{})
+	gob.Register(&Guard{})
+	gob.Register(&Modulo{})
+	gob.Register(&Sift{})
+	gob.Register(&SiftRecursive{})
+	gob.Register(&OrderedMerge{})
+	gob.Register(&ModSplit{})
+	gob.Register(&Scatter{})
+	gob.Register(&Gather{})
+	gob.Register(&Print{})
+	gob.Register(&Collect{})
+	gob.Register(&CollectFloat{})
+	gob.Register(&Count{})
+	gob.Register(&FIR{})
+	gob.Register(&Delay{})
+	gob.Register(&Decimate{})
+	gob.Register(&Upsample{})
+}

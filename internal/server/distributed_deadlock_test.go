@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/deadlock"
+	"dpn/internal/proclib"
+	"dpn/internal/token"
+)
+
+// TestDistributedDeadlockResolution reconstructs Figure 13 *across two
+// nodes*: the integer source and the mod-splitter run locally; the
+// ordered merge runs on a compute server. The "other values" path must
+// buffer N−1 elements per round, and its capacity — local pipe + TCP
+// buffers + remote pipe — is deliberately overwhelmed, so the
+// distributed graph write-blocks into an artificial deadlock that no
+// single node can see in full. The coordinator (the §6.2 future work)
+// detects global quiescence over the RPC and grows channels until the
+// graph completes.
+func TestDistributedDeadlockResolution(t *testing.T) {
+	srv := newTestServer(t, "merge-host")
+	cl := newTestClient(t, srv)
+	local := localNode(t)
+
+	// One "round": 1 multiple + (rounds*perRound - 1) others. The
+	// others path must hold everything before the merge reads any,
+	// which far exceeds pipe + socket capacity.
+	const perRound = 60000
+	const total = perRound
+
+	src := local.Net.NewChannel("ints", 4096)
+	mul := local.Net.NewChannel("mul", 1024)
+	oth := local.Net.NewChannel("oth", 1024)
+
+	seq := &proclib.Sequence{From: 1, Out: src.Writer()}
+	seq.Iterations = total
+	split := &proclib.ModSplit{N: perRound, In: src.Reader(), OutMultiple: mul.Writer(), OutOther: oth.Writer()}
+	merge := &roundMerge{InMul: mul.Reader(), InOth: oth.Reader(), N: perRound}
+
+	// The merge moves to the server; both of its channels now span TCP.
+	if _, err := cl.RunProcs(local, merge); err != nil {
+		t.Fatal(err)
+	}
+	local.Net.Spawn(seq)
+	local.Net.Spawn(split)
+
+	coord := deadlock.NewCoordinator(local, cl)
+	coord.Settle = 5 * time.Millisecond
+	coord.Poll = 5 * time.Millisecond
+	coord.Start()
+	defer coord.Stop()
+
+	done := make(chan error, 1)
+	go func() {
+		if err := local.Net.Wait(); err != nil {
+			done <- err
+			return
+		}
+		done <- srv.WaitIdle()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("distributed deadlock unresolved (resolutions so far: %d)", coord.Resolutions())
+	}
+	if coord.Resolutions() == 0 {
+		t.Fatal("expected the coordinator to grow at least one channel")
+	}
+	t.Logf("coordinator resolutions: %d", coord.Resolutions())
+	if errs, _ := cl.Errors(); len(errs) != 0 {
+		t.Fatalf("remote failures: %v", errs)
+	}
+}
+
+// roundMerge is the Figure 13 merge: per round it reads one multiple
+// first, then N−1 other values — the read order that deadlocks when
+// the others channel is too small.
+type roundMerge struct {
+	core.Iterative
+	InMul *core.ReadPort
+	InOth *core.ReadPort
+	N     int64
+	Seen  int64
+}
+
+func (m *roundMerge) Step(env *core.Env) error {
+	r := tokenReader(m.InMul)
+	if _, err := r.ReadInt64(); err != nil {
+		return err
+	}
+	m.Seen++
+	ro := tokenReader(m.InOth)
+	for i := int64(0); i < m.N-1; i++ {
+		if _, err := ro.ReadInt64(); err != nil {
+			return err
+		}
+		m.Seen++
+	}
+	return nil
+}
+
+func TestCoordinatorTerminatedAndRunningStates(t *testing.T) {
+	local := localNode(t)
+	coord := deadlock.NewCoordinator(local)
+	st, err := coord.Check()
+	if err != nil || st != deadlock.StatusTerminated {
+		t.Fatalf("empty: %v, %v", st, err)
+	}
+	ch := local.Net.NewChannel("c", 1024)
+	s := &proclib.Sequence{From: 0, Out: ch.Writer()}
+	s.Iterations = 1_000_000
+	local.Net.Spawn(s)
+	local.Net.Spawn(&proclib.Discard{In: ch.Reader()})
+	st, err = coord.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == deadlock.StatusTrueDeadlock {
+		t.Fatal("busy network misreported as deadlocked")
+	}
+	local.Net.Wait()
+}
+
+// tokenReader is a short alias used by roundMerge.
+func tokenReader(p *core.ReadPort) *token.Reader { return token.NewReader(p) }
+
+func init() { gob.Register(&roundMerge{}) }

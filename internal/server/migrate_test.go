@@ -1,0 +1,89 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpn/internal/factor"
+	"dpn/internal/meta"
+)
+
+// TestLiveWorkerMigration moves a busy factorization worker from the
+// local machine to a compute server in the middle of the run — the
+// §6.1 load-balancing scenario ("to have processes migrate from one
+// server to another for load balancing"). The result stream must stay
+// correct and ordered.
+func TestLiveWorkerMigration(t *testing.T) {
+	srv := newTestServer(t, "target")
+	cl := newTestClient(t, srv)
+	local := localNode(t)
+
+	rnd := rand.New(rand.NewSource(21))
+	// Plant the factor deep enough — and make each task slow enough
+	// (256-bit prime) — that the migration reliably happens mid-search
+	// even though the suspend handshake takes a few RPC round trips.
+	key, err := factor.GenerateWeakKey(rnd, 256, 2000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := meta.NewDynamic(local.Net, &factor.SearchSpace{N: key.N, Batch: 32}, 2, 0)
+	var found *factor.Result
+	dyn.Consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*factor.Result); ok && r.Found && found == nil {
+			found = r
+		}
+	})
+	workerProc := local.Net.Spawn(dyn.Workers[0])
+	local.Net.Spawn(dyn.Workers[1])
+	local.Net.Spawn(dyn.Producer)
+	local.Net.Spawn(dyn.Direct)
+	local.Net.Spawn(dyn.Turnstile)
+	local.Net.Spawn(dyn.IndexCons)
+	local.Net.Spawn(dyn.Select)
+	local.Net.Spawn(dyn.Consumer)
+
+	// Let the search get going, then migrate worker 0 mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for dyn.Consumer.Consumed() < 20 {
+		if found != nil {
+			t.Fatal("factor found before migration; deepen the target")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("search made no progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	names, err := cl.Migrate(local, workerProc)
+	if err != nil {
+		t.Fatalf("live migration failed: %v", err)
+	}
+	if len(names) != 1 || names[0] != "Worker" {
+		t.Fatalf("migrated %v", names)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- local.Net.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("search did not terminate after migration")
+	}
+	if found == nil {
+		t.Fatal("factor not found after migration")
+	}
+	if found.P.Cmp(key.P) != 0 {
+		t.Fatalf("found %v, want %v", found.P, key.P)
+	}
+	// The planted factor is in task 2000; the full sequence of results
+	// up to it passed through the migrated worker's channels.
+	if found.Index != 2000 {
+		t.Fatalf("found at task %d, want 2000", found.Index)
+	}
+	if errs, _ := cl.Errors(); len(errs) != 0 {
+		t.Fatalf("remote failures: %v", errs)
+	}
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dpn/internal/factor"
+	"dpn/internal/meta"
+)
+
+// Regression test: shipping each worker with its own Export call (and
+// its own client connection), as cmd/dpnrun does, must behave the same
+// as shipping them together.
+func TestDistributedFactorizationSeparateExports(t *testing.T) {
+	s1 := newTestServer(t, "w1")
+	s2 := newTestServer(t, "w2")
+	local := localNode(t)
+
+	rnd := rand.New(rand.NewSource(11))
+	key, err := factor.GenerateWeakKey(rnd, 192, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := meta.NewDynamic(local.Net, &factor.SearchSpace{N: key.N, Batch: 8}, 4, 0)
+	var found *factor.Result
+	dyn.Consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*factor.Result); ok && r.Found && found == nil {
+			found = r
+		}
+	})
+	addrs := []string{s1.Addr(), s2.Addr(), s1.Addr(), s2.Addr()}
+	for i, w := range dyn.Workers {
+		cl, err := Dial(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.RunProcs(local, w); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		cl.Close()
+	}
+	local.Net.Spawn(dyn.Producer)
+	local.Net.Spawn(dyn.Direct)
+	local.Net.Spawn(dyn.Turnstile)
+	local.Net.Spawn(dyn.IndexCons)
+	local.Net.Spawn(dyn.Select)
+	local.Net.Spawn(dyn.Consumer)
+
+	done := make(chan error, 1)
+	go func() { done <- local.Net.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("did not terminate")
+	}
+	if found == nil {
+		t.Fatalf("factor not found; consumer ran %d tasks", dyn.Consumer.Consumed())
+	}
+	if found.P.Cmp(key.P) != 0 {
+		t.Fatalf("found %v, want %v", found.P, key.P)
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Registry is the RMI-registry analog: a name service mapping compute
+// server names to their RPC addresses, so client applications can
+// locate remote compute servers (§4.1).
+type Registry struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	entries map[string]string
+	closed  bool
+}
+
+type regRequest struct {
+	Kind string // "register", "unregister", "lookup", "list"
+	Name string
+	Addr string
+}
+
+type regResponse struct {
+	Err   string
+	Addr  string
+	Names []string
+	Addrs []string
+}
+
+// NewRegistry starts a registry listening on addr.
+func NewRegistry(addr string) (*Registry, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{ln: ln, entries: make(map[string]string)}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the registry's listen address.
+func (r *Registry) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the registry.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.ln.Close()
+}
+
+// Entries returns a snapshot of the registered servers.
+func (r *Registry) Entries() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.entries))
+	for k, v := range r.entries {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *Registry) acceptLoop() {
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.serveConn(conn)
+	}
+}
+
+func (r *Registry) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req regRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp regResponse
+		switch req.Kind {
+		case "register":
+			r.mu.Lock()
+			r.entries[req.Name] = req.Addr
+			r.mu.Unlock()
+		case "unregister":
+			r.mu.Lock()
+			delete(r.entries, req.Name)
+			r.mu.Unlock()
+		case "lookup":
+			r.mu.Lock()
+			addr, ok := r.entries[req.Name]
+			r.mu.Unlock()
+			if !ok {
+				resp.Err = "registry: unknown server " + req.Name
+			} else {
+				resp.Addr = addr
+			}
+		case "list":
+			r.mu.Lock()
+			for name := range r.entries {
+				resp.Names = append(resp.Names, name)
+			}
+			r.mu.Unlock()
+			sort.Strings(resp.Names)
+			for _, name := range resp.Names {
+				r.mu.Lock()
+				resp.Addrs = append(resp.Addrs, r.entries[name])
+				r.mu.Unlock()
+			}
+		default:
+			resp.Err = "registry: unknown request " + req.Kind
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func regRoundTrip(registryAddr string, req *regRequest) (*regResponse, error) {
+	conn, err := net.Dial("tcp", registryAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, err
+	}
+	var resp regResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Register announces a compute server to the registry.
+func Register(registryAddr, name, serverAddr string) error {
+	_, err := regRoundTrip(registryAddr, &regRequest{Kind: "register", Name: name, Addr: serverAddr})
+	return err
+}
+
+// Unregister removes a compute server from the registry.
+func Unregister(registryAddr, name string) error {
+	_, err := regRoundTrip(registryAddr, &regRequest{Kind: "unregister", Name: name})
+	return err
+}
+
+// Lookup resolves a compute server name to its RPC address.
+func Lookup(registryAddr, name string) (string, error) {
+	resp, err := regRoundTrip(registryAddr, &regRequest{Kind: "lookup", Name: name})
+	if err != nil {
+		return "", err
+	}
+	return resp.Addr, nil
+}
+
+// List returns the registered server names and addresses.
+func List(registryAddr string) (names, addrs []string, err error) {
+	resp, err := regRoundTrip(registryAddr, &regRequest{Kind: "list"})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Names, resp.Addrs, nil
+}

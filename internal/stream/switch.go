@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"io"
+	"sync"
+)
+
+// SwitchWriter is a retargetable io.WriteCloser: the underlying sink can
+// be swapped while the stream is in use, with every byte delivered in
+// order to exactly one sink. It is the Go analog of the paper's
+// SequenceOutputStream, used when the transport under a channel changes
+// (for example when the consuming process migrates to another machine and
+// a local pipe must be replaced by a network stream).
+type SwitchWriter struct {
+	mu     sync.Mutex
+	w      io.WriteCloser
+	closed bool
+}
+
+// NewSwitchWriter returns a switch writer targeting w.
+func NewSwitchWriter(w io.WriteCloser) *SwitchWriter {
+	return &SwitchWriter{w: w}
+}
+
+// Write forwards to the current sink. The sink is held stable for the
+// duration of the call: a concurrent Retarget takes effect on the next
+// write, so no byte is ever split across sinks.
+func (s *SwitchWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrWriteClosed
+	}
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return 0, ErrWriteClosed
+	}
+	return w.Write(b)
+}
+
+// Retarget swaps the sink. The previous sink is returned (not closed):
+// the migration machinery usually still needs it, for example to pump
+// residual pipe contents to the network.
+func (s *SwitchWriter) Retarget(w io.WriteCloser) io.WriteCloser {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.w
+	s.w = w
+	return old
+}
+
+// Current returns the current sink without changing it.
+func (s *SwitchWriter) Current() io.WriteCloser {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w
+}
+
+// Close closes the switch writer and the current sink.
+func (s *SwitchWriter) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	w := s.w
+	s.w = nil
+	s.mu.Unlock()
+	if w != nil {
+		return w.Close()
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (s *SwitchWriter) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}

@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestWakePendingIdlePipe(t *testing.T) {
+	p := NewPipe(4)
+	if p.WakePending() {
+		t.Fatal("idle pipe reports pending wakeup")
+	}
+	p.Write([]byte{1})
+	if p.WakePending() {
+		t.Fatal("no blocked parties, nothing pending")
+	}
+}
+
+func TestWakePendingBlockedReaderGetsData(t *testing.T) {
+	p := NewPipe(4)
+	go p.Read(make([]byte, 1))
+	waitFor(t, "reader to block", func() bool { return p.BlockedReaders() == 1 })
+	if p.WakePending() {
+		t.Fatal("blocked reader on empty pipe is a genuine block")
+	}
+	// Data arrives: until the reader is rescheduled, the wakeup is
+	// pending. (The reader may already have consumed it, in which case
+	// BlockedReaders drops to 0 — both states are consistent.)
+	p.Write([]byte{1})
+	waitFor(t, "reader wake", func() bool {
+		return p.BlockedReaders() == 0 || p.WakePending()
+	})
+}
+
+func TestWakePendingBlockedWriterGetsSpace(t *testing.T) {
+	p := NewPipe(1)
+	p.Write([]byte{1})
+	go p.Write([]byte{2})
+	waitFor(t, "writer to block", func() bool { return p.BlockedWriters() == 1 })
+	if p.WakePending() {
+		t.Fatal("blocked writer on full pipe is a genuine block")
+	}
+	p.Read(make([]byte, 1))
+	waitFor(t, "writer wake", func() bool {
+		return p.BlockedWriters() == 0 || p.WakePending()
+	})
+}
+
+func TestWakePendingOnClose(t *testing.T) {
+	p := NewPipe(4)
+	go p.Read(make([]byte, 1))
+	waitFor(t, "reader to block", func() bool { return p.BlockedReaders() == 1 })
+	p.CloseWrite()
+	// Until the reader observes EOF, the wakeup is pending.
+	waitFor(t, "reader EOF wake", func() bool {
+		return p.BlockedReaders() == 0 || p.WakePending()
+	})
+}

@@ -1,0 +1,133 @@
+package token
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Feeding arbitrary bytes to every reader method must never panic and
+// must always terminate — corrupted or truncated streams surface as
+// errors, not crashes. (Channels can carry anything during migration
+// races; the codec is the defensive boundary.)
+func TestReadersRobustAgainstGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		readers := []func(*Reader) error{
+			func(r *Reader) error { _, err := r.ReadInt64(); return err },
+			func(r *Reader) error { _, err := r.ReadUint64(); return err },
+			func(r *Reader) error { _, err := r.ReadInt32(); return err },
+			func(r *Reader) error { _, err := r.ReadFloat64(); return err },
+			func(r *Reader) error { _, err := r.ReadBool(); return err },
+			func(r *Reader) error { _, err := r.ReadByte(); return err },
+			func(r *Reader) error { _, err := r.ReadBlock(); return err },
+			func(r *Reader) error { _, err := r.ReadString(); return err },
+			func(r *Reader) error {
+				var v struct{ X int }
+				return r.ReadObject(&v)
+			},
+		}
+		for _, read := range readers {
+			r := NewReader(bytes.NewReader(garbage))
+			// Drain until an error; bounded by input length.
+			for i := 0; i <= len(garbage)+1; i++ {
+				if err := read(r); err != nil {
+					break
+				}
+			}
+		}
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncating a valid stream at every possible byte offset must yield a
+// clean error (EOF at element boundaries, ErrUnexpectedEOF inside an
+// element), never a panic or a bogus value beyond the cut.
+func TestEveryTruncationFailsCleanly(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteInt64(123456789)
+	w.WriteBlock([]byte("hello world"))
+	w.WriteString("señal")
+	w.WriteFloat64(3.14)
+	full := buf.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		var err error
+		if _, err = r.ReadInt64(); err == nil {
+			if _, err = r.ReadBlock(); err == nil {
+				if _, err = r.ReadString(); err == nil {
+					_, err = r.ReadFloat64()
+				}
+			}
+		}
+		if err == nil {
+			t.Fatalf("truncation at %d of %d read the full stream", cut, len(full))
+		}
+	}
+}
+
+// Interleaved mixed-type streams round-trip regardless of order.
+func TestMixedTypeStreamProperty(t *testing.T) {
+	type op byte
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nOps) % 60
+		ops := make([]op, n)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		ints := []int64{}
+		floats := []float64{}
+		blocks := [][]byte{}
+		for i := range ops {
+			ops[i] = op(rng.Intn(3))
+			switch ops[i] {
+			case 0:
+				v := rng.Int63()
+				ints = append(ints, v)
+				w.WriteInt64(v)
+			case 1:
+				v := rng.NormFloat64()
+				floats = append(floats, v)
+				w.WriteFloat64(v)
+			case 2:
+				b := make([]byte, rng.Intn(32))
+				rng.Read(b)
+				blocks = append(blocks, b)
+				w.WriteBlock(b)
+			}
+		}
+		r := NewReader(&buf)
+		ii, fi, bi := 0, 0, 0
+		for _, o := range ops {
+			switch o {
+			case 0:
+				v, err := r.ReadInt64()
+				if err != nil || v != ints[ii] {
+					return false
+				}
+				ii++
+			case 1:
+				v, err := r.ReadFloat64()
+				if err != nil || v != floats[fi] {
+					return false
+				}
+				fi++
+			case 2:
+				b, err := r.ReadBlock()
+				if err != nil || !bytes.Equal(b, blocks[bi]) {
+					return false
+				}
+				bi++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package token layers typed data elements over the raw byte streams
+// that process-network channels carry. It plays the role that
+// java.io.DataInputStream/DataOutputStream and ObjectInputStream/
+// ObjectOutputStream play in the Java implementation (§3.1 of the paper):
+// higher-level formatting is performed inside a process, so the channel
+// itself remains a type-independent stream of bytes and processes such as
+// Duplicate and Cons can copy bytes without understanding them.
+//
+// Fixed-width values use big-endian encoding. Variable-width values
+// (byte blocks, gob-encoded objects) are length-prefixed with a uint32.
+//
+// Object values deliberately use one self-contained gob message per
+// element rather than a long-lived gob stream. A long-lived gob stream
+// carries type definitions once, at the start; if the consuming process
+// later migrates to another machine, the new decoder would be missing
+// that state. Per-message encoding keeps every element independently
+// decodable, so channels stay migratable at any element boundary. This
+// is the central "gob workaround" required by the Go port.
+package token
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxBlockSize bounds the length prefix of blocks and objects to guard
+// against corrupted streams.
+const MaxBlockSize = 1 << 26 // 64 MiB
+
+// Reader decodes typed elements from a byte stream. Every method blocks
+// until the full element has arrived, preserving Kahn blocking-read
+// semantics at element granularity.
+type Reader struct {
+	r       io.Reader
+	scratch [8]byte
+}
+
+// NewReader returns a typed reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadInt64 reads one big-endian int64 element.
+func (d *Reader) ReadInt64() (int64, error) {
+	u, err := d.ReadUint64()
+	return int64(u), err
+}
+
+// ReadUint64 reads one big-endian uint64 element.
+func (d *Reader) ReadUint64() (uint64, error) {
+	if _, err := io.ReadFull(d.r, d.scratch[:8]); err != nil {
+		return 0, noUnexpected(err)
+	}
+	return binary.BigEndian.Uint64(d.scratch[:8]), nil
+}
+
+// ReadInt32 reads one big-endian int32 element.
+func (d *Reader) ReadInt32() (int32, error) {
+	if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
+		return 0, noUnexpected(err)
+	}
+	return int32(binary.BigEndian.Uint32(d.scratch[:4])), nil
+}
+
+// ReadFloat64 reads one IEEE-754 float64 element.
+func (d *Reader) ReadFloat64() (float64, error) {
+	u, err := d.ReadUint64()
+	return math.Float64frombits(u), err
+}
+
+// ReadBool reads one boolean element (a single byte; nonzero is true).
+func (d *Reader) ReadBool() (bool, error) {
+	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
+		return false, noUnexpected(err)
+	}
+	return d.scratch[0] != 0, nil
+}
+
+// ReadByte reads one raw byte element.
+func (d *Reader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
+		return 0, noUnexpected(err)
+	}
+	return d.scratch[0], nil
+}
+
+// ReadBlock reads one length-prefixed byte block.
+func (d *Reader) ReadBlock() ([]byte, error) {
+	if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
+		return nil, noUnexpected(err)
+	}
+	n := binary.BigEndian.Uint32(d.scratch[:4])
+	if n > MaxBlockSize {
+		return nil, fmt.Errorf("token: block of %d bytes exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return nil, corrupt(err)
+	}
+	return b, nil
+}
+
+// ReadObject reads one gob-encoded object into v (a non-nil pointer).
+// The element must have been written by Writer.WriteObject.
+func (d *Reader) ReadObject(v any) error {
+	b, err := d.ReadBlock()
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// ReadString reads one length-prefixed UTF-8 string element.
+func (d *Reader) ReadString() (string, error) {
+	b, err := d.ReadBlock()
+	return string(b), err
+}
+
+// noUnexpected converts io.ErrUnexpectedEOF at the *start* of an element
+// read into plain io.EOF — an element boundary is a legitimate stream
+// end. io.ReadFull only returns ErrUnexpectedEOF when some bytes were
+// read, so a truncation mid-element still surfaces as ErrUnexpectedEOF.
+func noUnexpected(err error) error { return err }
+
+// corrupt marks an error that happened mid-element.
+func corrupt(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Writer encodes typed elements onto a byte stream.
+type Writer struct {
+	w       io.Writer
+	scratch [8]byte
+}
+
+// NewWriter returns a typed writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteInt64 writes one big-endian int64 element.
+func (e *Writer) WriteInt64(v int64) error { return e.WriteUint64(uint64(v)) }
+
+// WriteUint64 writes one big-endian uint64 element.
+func (e *Writer) WriteUint64(v uint64) error {
+	binary.BigEndian.PutUint64(e.scratch[:8], v)
+	_, err := e.w.Write(e.scratch[:8])
+	return err
+}
+
+// WriteInt32 writes one big-endian int32 element.
+func (e *Writer) WriteInt32(v int32) error {
+	binary.BigEndian.PutUint32(e.scratch[:4], uint32(v))
+	_, err := e.w.Write(e.scratch[:4])
+	return err
+}
+
+// WriteFloat64 writes one IEEE-754 float64 element.
+func (e *Writer) WriteFloat64(v float64) error {
+	return e.WriteUint64(math.Float64bits(v))
+}
+
+// WriteBool writes one boolean element.
+func (e *Writer) WriteBool(v bool) error {
+	e.scratch[0] = 0
+	if v {
+		e.scratch[0] = 1
+	}
+	_, err := e.w.Write(e.scratch[:1])
+	return err
+}
+
+// WriteByte writes one raw byte element.
+func (e *Writer) WriteByte(b byte) error {
+	e.scratch[0] = b
+	_, err := e.w.Write(e.scratch[:1])
+	return err
+}
+
+// WriteBlock writes one length-prefixed byte block.
+func (e *Writer) WriteBlock(b []byte) error {
+	if len(b) > MaxBlockSize {
+		return fmt.Errorf("token: block of %d bytes exceeds limit", len(b))
+	}
+	binary.BigEndian.PutUint32(e.scratch[:4], uint32(len(b)))
+	if _, err := e.w.Write(e.scratch[:4]); err != nil {
+		return err
+	}
+	_, err := e.w.Write(b)
+	return err
+}
+
+// WriteObject writes v as one self-contained gob message (see the
+// package comment for why each element is independently encoded).
+func (e *Writer) WriteObject(v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return e.WriteBlock(buf.Bytes())
+}
+
+// WriteString writes one length-prefixed UTF-8 string element.
+func (e *Writer) WriteString(s string) error {
+	binary.BigEndian.PutUint32(e.scratch[:4], uint32(len(s)))
+	if _, err := e.w.Write(e.scratch[:4]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(e.w, s)
+	return err
+}
+
+// Int64Size is the encoded size of an int64 element in bytes. Processes
+// such as Cons that copy whole elements without interpreting them need
+// the element width (the paper's byte-oriented Cons copies byte
+// elements; our typed examples use 8-byte elements).
+const Int64Size = 8
+
+// Float64Size is the encoded size of a float64 element in bytes.
+const Float64Size = 8
+
+// AppendInt64 appends the encoding of one int64 element to b.
+func AppendInt64(b []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(v))
+}
+
+// AppendFloat64 appends the encoding of one float64 element to b.
+func AppendFloat64(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}

@@ -1,0 +1,233 @@
+package token
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dpn/internal/stream"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteInt64(-42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteUint64(1 << 63); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteInt32(-7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFloat64(math.Pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBool(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBool(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteByte(0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteString("héllo"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if v, err := r.ReadInt64(); err != nil || v != -42 {
+		t.Fatalf("ReadInt64 = %d, %v", v, err)
+	}
+	if v, err := r.ReadUint64(); err != nil || v != 1<<63 {
+		t.Fatalf("ReadUint64 = %d, %v", v, err)
+	}
+	if v, err := r.ReadInt32(); err != nil || v != -7 {
+		t.Fatalf("ReadInt32 = %d, %v", v, err)
+	}
+	if v, err := r.ReadFloat64(); err != nil || v != math.Pi {
+		t.Fatalf("ReadFloat64 = %v, %v", v, err)
+	}
+	if v, err := r.ReadBool(); err != nil || !v {
+		t.Fatalf("ReadBool = %v, %v", v, err)
+	}
+	if v, err := r.ReadBool(); err != nil || v {
+		t.Fatalf("ReadBool = %v, %v", v, err)
+	}
+	if v, err := r.ReadByte(); err != nil || v != 0xAB {
+		t.Fatalf("ReadByte = %x, %v", v, err)
+	}
+	if v, err := r.ReadString(); err != nil || v != "héllo" {
+		t.Fatalf("ReadString = %q, %v", v, err)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Fatalf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []byte{1, 2, 3, 4, 5}
+	if err := w.WriteBlock(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadBlock()
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("ReadBlock = %v, %v", got, err)
+	}
+	got, err = r.ReadBlock()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty ReadBlock = %v, %v", got, err)
+	}
+}
+
+type testObj struct {
+	Name   string
+	Values []int
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := testObj{Name: "x", Values: []int{3, 1, 4}}
+	if err := w.WriteObject(want); err != nil {
+		t.Fatal(err)
+	}
+	// A second object must be independently decodable (fresh decoder).
+	if err := w.WriteObject(testObj{Name: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	var got testObj
+	if err := r.ReadObject(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v", got)
+	}
+	var got2 testObj
+	if err := r.ReadObject(&got2); err != nil || got2.Name != "y" {
+		t.Fatalf("second object = %+v, %v", got2, err)
+	}
+}
+
+// Objects must survive decoding from the middle of a stream by a fresh
+// reader — the migration property motivating per-message gob encoding.
+func TestObjectsIndependentlyDecodable(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteObject(testObj{Name: "first"})
+	w.WriteObject(testObj{Name: "second"})
+	r1 := NewReader(&buf)
+	var a testObj
+	if err := r1.ReadObject(&a); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining bytes handed to a brand-new reader (as after migration).
+	r2 := NewReader(bytes.NewReader(buf.Bytes()[len(buf.Bytes())-buf.Len():]))
+	var b testObj
+	if err := r2.ReadObject(&b); err != nil {
+		t.Fatalf("fresh reader mid-stream: %v", err)
+	}
+	if b.Name != "second" {
+		t.Fatalf("got %+v", b)
+	}
+}
+
+func TestTruncatedElementIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf).WriteInt64(7)
+	short := buf.Bytes()[:5]
+	r := NewReader(bytes.NewReader(short))
+	if _, err := r.ReadInt64(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated read = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestTruncatedBlockIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf).WriteBlock([]byte("abcdef"))
+	short := buf.Bytes()[:7] // 4-byte prefix + 3 of 6 payload bytes
+	r := NewReader(bytes.NewReader(short))
+	if _, err := r.ReadBlock(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated block = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestOversizeBlockRejected(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a prefix larger than MaxBlockSize.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := NewReader(&buf).ReadBlock(); err == nil {
+		t.Fatal("oversize block accepted")
+	}
+	w := NewWriter(io.Discard)
+	if err := w.WriteBlock(make([]byte, MaxBlockSize+1)); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+}
+
+// Property: any sequence of int64s round-trips over a real pipe.
+func TestInt64StreamProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		p := stream.NewPipe(64)
+		go func() {
+			w := NewWriter(p)
+			for _, v := range vals {
+				if err := w.WriteInt64(v); err != nil {
+					return
+				}
+			}
+			p.CloseWrite()
+		}()
+		r := NewReader(p)
+		for _, want := range vals {
+			got, err := r.ReadInt64()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := r.ReadInt64()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float64 values round-trip bit-exactly (including NaN bit
+// patterns produced by quick).
+func TestFloat64BitExactProperty(t *testing.T) {
+	f := func(bits uint64) bool {
+		var buf bytes.Buffer
+		v := math.Float64frombits(bits)
+		NewWriter(&buf).WriteFloat64(v)
+		got, err := NewReader(&buf).ReadFloat64()
+		return err == nil && math.Float64bits(got) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strings round-trip.
+func TestStringProperty(t *testing.T) {
+	f := func(s string) bool {
+		var buf bytes.Buffer
+		NewWriter(&buf).WriteString(s)
+		got, err := NewReader(&buf).ReadString()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package viz provides graph introspection for process networks: a
+// structural validator enforcing the single-producer/single-consumer
+// rule and a Graphviz DOT exporter.
+//
+// The paper chooses not to enforce Kahn's structural constraints at
+// run time, suggesting instead that "a visual front end could be used
+// for programming … The responsibility for consistency checking could
+// be given to this visual front end, relieving the run-time system of
+// this burden" (§3). This package is that front end's back half: it
+// checks a set of processes *before* they are spawned — zero run-time
+// overhead, exactly the paper's trade — and renders the graph for
+// inspection.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpn/internal/core"
+)
+
+// Endpoint identifies one side of a channel as seen from a process.
+type Endpoint struct {
+	Process string // process name (type name or Namer)
+	Index   int    // position of the process in the validated slice
+}
+
+// ChannelInfo describes one channel's connectivity.
+type ChannelInfo struct {
+	Name      string
+	Capacity  int
+	Producers []Endpoint
+	Consumers []Endpoint
+}
+
+// Graph is the structural view of a process set.
+type Graph struct {
+	Processes []string
+	Channels  []ChannelInfo
+}
+
+// Inspect builds the structural graph of the given (unspawned)
+// processes by reflecting over their ports — the same discovery the
+// runtime uses to close ports at process exit. Composite processes are
+// flattened: their children appear as individual nodes, matching how
+// they execute (§3.2: one thread per component).
+func Inspect(procs ...any) *Graph {
+	procs = flatten(procs)
+	g := &Graph{}
+	type chanState struct {
+		info  *ChannelInfo
+		order int
+	}
+	chans := make(map[*core.Channel]*chanState)
+	ordered := []*core.Channel{}
+	for i, p := range procs {
+		name := fmt.Sprintf("%s#%d", procName(p), i)
+		g.Processes = append(g.Processes, name)
+		for _, closer := range core.PortsOf(p) {
+			switch port := closer.(type) {
+			case *core.ReadPort:
+				ch := port.Channel()
+				if ch == nil {
+					continue
+				}
+				st := chans[ch]
+				if st == nil {
+					st = &chanState{info: &ChannelInfo{Name: ch.Name(), Capacity: ch.Pipe().Cap()}}
+					chans[ch] = st
+					ordered = append(ordered, ch)
+				}
+				st.info.Consumers = append(st.info.Consumers, Endpoint{Process: name, Index: i})
+			case *core.WritePort:
+				ch := port.Channel()
+				if ch == nil {
+					continue
+				}
+				st := chans[ch]
+				if st == nil {
+					st = &chanState{info: &ChannelInfo{Name: ch.Name(), Capacity: ch.Pipe().Cap()}}
+					chans[ch] = st
+					ordered = append(ordered, ch)
+				}
+				st.info.Producers = append(st.info.Producers, Endpoint{Process: name, Index: i})
+			}
+		}
+	}
+	for _, ch := range ordered {
+		g.Channels = append(g.Channels, *chans[ch].info)
+	}
+	return g
+}
+
+// flatten expands composites into their component processes.
+func flatten(procs []any) []any {
+	var out []any
+	for _, p := range procs {
+		if comp, ok := p.(*core.Composite); ok {
+			out = append(out, flatten(comp.Procs)...)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func procName(p any) string {
+	if n, ok := p.(core.Namer); ok {
+		return n.ProcessName()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// Violation is one structural rule violation.
+type Violation struct {
+	Channel string
+	Rule    string
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("viz: channel %q: %s", v.Channel, v.Rule)
+}
+
+// Validate checks Kahn's structural constraints over the given
+// processes: every channel must have at most one producing and at most
+// one consuming process ("Multiple producers or multiple consumers
+// connected to the same channel are not allowed", §1), and a channel
+// with a producer among the processes should have a consumer (and vice
+// versa) unless the counterpart is deliberately external. Dangling
+// ends are reported as warnings in the second return value, not
+// violations, because partial graphs are legal during distribution.
+func Validate(procs ...any) (violations []Violation, warnings []string) {
+	g := Inspect(procs...)
+	for _, ch := range g.Channels {
+		if len(ch.Producers) > 1 {
+			violations = append(violations, Violation{
+				Channel: ch.Name,
+				Rule: fmt.Sprintf("%d producing processes (%s); Kahn networks allow exactly one",
+					len(ch.Producers), joinEndpoints(ch.Producers)),
+			})
+		}
+		if len(ch.Consumers) > 1 {
+			violations = append(violations, Violation{
+				Channel: ch.Name,
+				Rule: fmt.Sprintf("%d consuming processes (%s); Kahn networks allow exactly one",
+					len(ch.Consumers), joinEndpoints(ch.Consumers)),
+			})
+		}
+		if len(ch.Producers) == 0 && len(ch.Consumers) > 0 {
+			warnings = append(warnings,
+				fmt.Sprintf("channel %q has a consumer but no producer in this process set", ch.Name))
+		}
+		if len(ch.Consumers) == 0 && len(ch.Producers) > 0 {
+			warnings = append(warnings,
+				fmt.Sprintf("channel %q has a producer but no consumer in this process set", ch.Name))
+		}
+	}
+	return violations, warnings
+}
+
+// DOT renders the graph in Graphviz format: processes as boxes,
+// channels as labelled edges (or as diamond nodes when an end is
+// missing or duplicated, so violations are visible).
+func DOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph dpn {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, p := range g.Processes {
+		fmt.Fprintf(&b, "  %q;\n", p)
+	}
+	for _, ch := range g.Channels {
+		label := fmt.Sprintf("%s (%dB)", ch.Name, ch.Capacity)
+		if len(ch.Producers) == 1 && len(ch.Consumers) == 1 {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+				ch.Producers[0].Process, ch.Consumers[0].Process, label)
+			continue
+		}
+		// Irregular connectivity: render the channel as its own node.
+		node := "ch:" + ch.Name
+		fmt.Fprintf(&b, "  %q [shape=diamond, label=%q];\n", node, label)
+		for _, p := range ch.Producers {
+			fmt.Fprintf(&b, "  %q -> %q;\n", p.Process, node)
+		}
+		for _, c := range ch.Consumers {
+			fmt.Fprintf(&b, "  %q -> %q;\n", node, c.Process)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary prints a compact text report of the graph and its
+// validation result.
+func Summary(procs ...any) string {
+	g := Inspect(procs...)
+	violations, warnings := Validate(procs...)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d processes, %d channels\n", len(g.Processes), len(g.Channels))
+	sorted := append([]ChannelInfo(nil), g.Channels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, ch := range sorted {
+		fmt.Fprintf(&b, "  %-12s %5dB  %s -> %s\n", ch.Name, ch.Capacity,
+			orNone(joinEndpoints(ch.Producers)), orNone(joinEndpoints(ch.Consumers)))
+	}
+	for _, v := range violations {
+		fmt.Fprintf(&b, "VIOLATION: %s\n", v.Error())
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	return b.String()
+}
+
+func joinEndpoints(eps []Endpoint) string {
+	names := make([]string, len(eps))
+	for i, e := range eps {
+		names[i] = e.Process
+	}
+	return strings.Join(names, ", ")
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dpn/internal/core"
+	"dpn/internal/proclib"
+)
+
+func buildPipeline() (procs []any) {
+	a := core.NewChannel("a", 64)
+	b := core.NewChannel("b", 64)
+	return []any{
+		&proclib.SliceSource{Values: []int64{1}, Out: a.Writer()},
+		&proclib.PassThrough{In: a.Reader(), Out: b.Writer()},
+		&proclib.Collect{In: b.Reader()},
+	}
+}
+
+func TestInspectPipeline(t *testing.T) {
+	g := Inspect(buildPipeline()...)
+	if len(g.Processes) != 3 {
+		t.Fatalf("processes = %v", g.Processes)
+	}
+	if len(g.Channels) != 2 {
+		t.Fatalf("channels = %v", g.Channels)
+	}
+	for _, ch := range g.Channels {
+		if len(ch.Producers) != 1 || len(ch.Consumers) != 1 {
+			t.Fatalf("channel %q: %+v", ch.Name, ch)
+		}
+	}
+}
+
+func TestValidateCleanGraph(t *testing.T) {
+	v, w := Validate(buildPipeline()...)
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if len(w) != 0 {
+		t.Fatalf("warnings: %v", w)
+	}
+}
+
+func TestValidateDetectsMultipleProducers(t *testing.T) {
+	ch := core.NewChannel("shared", 64)
+	procs := []any{
+		&proclib.SliceSource{Values: []int64{1}, Out: ch.Writer()},
+		&proclib.SliceSource{Values: []int64{2}, Out: ch.Writer()},
+		&proclib.Collect{In: ch.Reader()},
+	}
+	v, _ := Validate(procs...)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].Error(), "producing") {
+		t.Fatalf("wrong violation: %v", v[0])
+	}
+}
+
+func TestValidateDetectsMultipleConsumers(t *testing.T) {
+	ch := core.NewChannel("shared", 64)
+	procs := []any{
+		&proclib.SliceSource{Values: []int64{1}, Out: ch.Writer()},
+		&proclib.Collect{In: ch.Reader()},
+		&proclib.Discard{In: ch.Reader()},
+	}
+	v, _ := Validate(procs...)
+	if len(v) != 1 || !strings.Contains(v[0].Error(), "consuming") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestValidateWarnsOnDanglingEnds(t *testing.T) {
+	ch := core.NewChannel("boundary", 64)
+	// Only the producer is in the set (its consumer will live on
+	// another machine): a warning, not a violation.
+	v, w := Validate(&proclib.SliceSource{Values: []int64{1}, Out: ch.Writer()})
+	if len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if len(w) != 1 || !strings.Contains(w[0], "no consumer") {
+		t.Fatalf("warnings: %v", w)
+	}
+	v, w = Validate(&proclib.Collect{In: ch.Reader()})
+	if len(v) != 0 || len(w) != 1 || !strings.Contains(w[0], "no producer") {
+		t.Fatalf("violations %v warnings %v", v, w)
+	}
+}
+
+func TestDOTWellFormed(t *testing.T) {
+	g := Inspect(buildPipeline()...)
+	dot := DOT(g)
+	for _, want := range []string{"digraph dpn", "SliceSource", "PassThrough", "Collect", "->", "a (64B)"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTIrregularChannelAsNode(t *testing.T) {
+	ch := core.NewChannel("orphan", 8)
+	g := Inspect(&proclib.Collect{In: ch.Reader()})
+	dot := DOT(g)
+	if !strings.Contains(dot, "diamond") {
+		t.Fatalf("dangling channel not rendered as node:\n%s", dot)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary(buildPipeline()...)
+	if !strings.Contains(s, "3 processes, 2 channels") {
+		t.Fatalf("summary: %s", s)
+	}
+	ch := core.NewChannel("x", 8)
+	s = Summary(&proclib.Collect{In: ch.Reader()})
+	if !strings.Contains(s, "warning") || !strings.Contains(s, "(none)") {
+		t.Fatalf("summary: %s", s)
+	}
+}
+
+func TestCompositeChildrenFlattened(t *testing.T) {
+	// A composite's children appear as individual graph nodes, so the
+	// Kahn check sees through grouping (composites execute one thread
+	// per component, §3.2).
+	a := core.NewChannel("a", 64)
+	comp := (&core.Composite{Name: "grp"}).
+		Add(&proclib.SliceSource{Values: []int64{1}, Out: a.Writer()}).
+		Add(&proclib.Collect{In: a.Reader()})
+	g := Inspect(comp)
+	if len(g.Processes) != 2 || len(g.Channels) != 1 {
+		t.Fatalf("graph = %+v", g)
+	}
+	v, w := Validate(comp)
+	if len(v) != 0 || len(w) != 0 {
+		t.Fatalf("violations %v warnings %v", v, w)
+	}
+	// A second consumer hidden inside a nested composite is still caught.
+	inner := (&core.Composite{Name: "in"}).Add(&proclib.Discard{In: a.Reader()})
+	v, _ = Validate(comp, inner)
+	if len(v) != 1 {
+		t.Fatalf("nested violation missed: %v", v)
+	}
+}

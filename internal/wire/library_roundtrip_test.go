@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dpn/internal/core"
+	"dpn/internal/proclib"
+	"dpn/internal/token"
+)
+
+// TestEveryLibraryProcessSurvivesExport ships one instance of every
+// standard-library process type through a full export → gob → import
+// cycle and verifies the configuration fields survive — the coverage
+// guarantee that any graph built from proclib can be distributed.
+func TestEveryLibraryProcessSurvivesExport(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+
+	mk := func() (*core.ReadPort, *core.WritePort) {
+		in := a.Net.NewChannel("", 64)
+		out := a.Net.NewChannel("", 64)
+		return in.Reader(), out.Writer()
+	}
+
+	cases := []struct {
+		name  string
+		build func() any
+		check func(t *testing.T, got any)
+	}{
+		{"Constant", func() any {
+			_, w := mk()
+			c := &proclib.Constant{Value: 42, Out: w}
+			c.Iterations = 7
+			return c
+		}, func(t *testing.T, got any) {
+			c := got.(*proclib.Constant)
+			if c.Value != 42 || c.Iterations != 7 {
+				t.Fatalf("%+v", c)
+			}
+		}},
+		{"ConstantFloat", func() any {
+			_, w := mk()
+			return &proclib.ConstantFloat{Value: 2.5, Out: w}
+		}, func(t *testing.T, got any) {
+			if got.(*proclib.ConstantFloat).Value != 2.5 {
+				t.Fatal("value lost")
+			}
+		}},
+		{"Sequence", func() any {
+			_, w := mk()
+			return &proclib.Sequence{From: 5, Stride: 3, Out: w}
+		}, func(t *testing.T, got any) {
+			s := got.(*proclib.Sequence)
+			if s.From != 5 || s.Stride != 3 {
+				t.Fatalf("%+v", s)
+			}
+		}},
+		{"SliceSource", func() any {
+			_, w := mk()
+			return &proclib.SliceSource{Values: []int64{1, 2, 3}, Out: w}
+		}, func(t *testing.T, got any) {
+			if !reflect.DeepEqual(got.(*proclib.SliceSource).Values, []int64{1, 2, 3}) {
+				t.Fatal("values lost")
+			}
+		}},
+		{"PassThrough", func() any {
+			r, w := mk()
+			return &proclib.PassThrough{In: r, Out: w}
+		}, nil},
+		{"Duplicate", func() any {
+			r, w := mk()
+			_, w2 := mk()
+			return &proclib.Duplicate{In: r, Outs: []*core.WritePort{w, w2}}
+		}, func(t *testing.T, got any) {
+			if len(got.(*proclib.Duplicate).Outs) != 2 {
+				t.Fatal("outs lost")
+			}
+		}},
+		{"Cons", func() any {
+			r, w := mk()
+			return &proclib.Cons{Head: token.AppendInt64(nil, 9), In: r, Out: w, SelfRemove: true}
+		}, func(t *testing.T, got any) {
+			c := got.(*proclib.Cons)
+			if len(c.Head) != 8 || !c.SelfRemove {
+				t.Fatalf("%+v", c)
+			}
+		}},
+		{"Discard", func() any {
+			r, _ := mk()
+			return &proclib.Discard{In: r}
+		}, nil},
+		{"Take", func() any {
+			r, w := mk()
+			return &proclib.Take{N: 4, Width: 8, In: r, Out: w}
+		}, func(t *testing.T, got any) {
+			tk := got.(*proclib.Take)
+			if tk.N != 4 || tk.Width != 8 {
+				t.Fatalf("%+v", tk)
+			}
+		}},
+		{"Add", func() any {
+			r1, w := mk()
+			r2, _ := mk()
+			return &proclib.Add{InA: r1, InB: r2, Out: w}
+		}, nil},
+		{"Scale", func() any {
+			r, w := mk()
+			return &proclib.Scale{Factor: -3, In: r, Out: w}
+		}, func(t *testing.T, got any) {
+			if got.(*proclib.Scale).Factor != -3 {
+				t.Fatal("factor lost")
+			}
+		}},
+		{"Divide", func() any {
+			r1, w := mk()
+			r2, _ := mk()
+			return &proclib.Divide{InA: r1, InB: r2, Out: w}
+		}, nil},
+		{"Average", func() any {
+			r1, w := mk()
+			r2, _ := mk()
+			return &proclib.Average{InA: r1, InB: r2, Out: w}
+		}, nil},
+		{"Equal", func() any {
+			r1, w := mk()
+			r2, _ := mk()
+			return &proclib.Equal{InA: r1, InB: r2, Out: w, Tolerance: 0.5}
+		}, func(t *testing.T, got any) {
+			if got.(*proclib.Equal).Tolerance != 0.5 {
+				t.Fatal("tolerance lost")
+			}
+		}},
+		{"Guard", func() any {
+			r1, w := mk()
+			r2, _ := mk()
+			return &proclib.Guard{In: r1, Control: r2, Out: w, Width: 8, StopAfterPass: true}
+		}, func(t *testing.T, got any) {
+			g := got.(*proclib.Guard)
+			if g.Width != 8 || !g.StopAfterPass {
+				t.Fatalf("%+v", g)
+			}
+		}},
+		{"Modulo", func() any {
+			r, w := mk()
+			return &proclib.Modulo{P: 13, In: r, Out: w}
+		}, func(t *testing.T, got any) {
+			if got.(*proclib.Modulo).P != 13 {
+				t.Fatal("P lost")
+			}
+		}},
+		{"Sift", func() any {
+			r, w := mk()
+			return &proclib.Sift{In: r, Out: w, ChannelCapacity: 77}
+		}, func(t *testing.T, got any) {
+			if got.(*proclib.Sift).ChannelCapacity != 77 {
+				t.Fatal("capacity lost")
+			}
+		}},
+		{"SiftRecursive", func() any {
+			r, w := mk()
+			return &proclib.SiftRecursive{In: r, Out: w}
+		}, nil},
+		{"OrderedMerge", func() any {
+			r1, w := mk()
+			r2, _ := mk()
+			return &proclib.OrderedMerge{Ins: []*core.ReadPort{r1, r2}, Out: w}
+		}, func(t *testing.T, got any) {
+			if len(got.(*proclib.OrderedMerge).Ins) != 2 {
+				t.Fatal("ins lost")
+			}
+		}},
+		{"ModSplit", func() any {
+			r, w := mk()
+			_, w2 := mk()
+			return &proclib.ModSplit{N: 8, In: r, OutMultiple: w, OutOther: w2}
+		}, func(t *testing.T, got any) {
+			if got.(*proclib.ModSplit).N != 8 {
+				t.Fatal("N lost")
+			}
+		}},
+		{"Scatter", func() any {
+			r, w := mk()
+			return &proclib.Scatter{In: r, Outs: []*core.WritePort{w}}
+		}, nil},
+		{"Gather", func() any {
+			r, w := mk()
+			return &proclib.Gather{Ins: []*core.ReadPort{r}, Out: w}
+		}, nil},
+		{"Print", func() any {
+			r, _ := mk()
+			return &proclib.Print{In: r, Format: "float64", Label: "L"}
+		}, func(t *testing.T, got any) {
+			p := got.(*proclib.Print)
+			if p.Format != "float64" || p.Label != "L" {
+				t.Fatalf("%+v", p)
+			}
+		}},
+		{"Collect", func() any {
+			r, _ := mk()
+			return &proclib.Collect{In: r}
+		}, nil},
+		{"CollectFloat", func() any {
+			r, _ := mk()
+			return &proclib.CollectFloat{In: r}
+		}, nil},
+		{"Count", func() any {
+			r, _ := mk()
+			return &proclib.Count{In: r}
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			proc := tc.build()
+			parcel, err := Export(a, b.Broker.Addr(), proc)
+			if err != nil {
+				t.Fatalf("export: %v", err)
+			}
+			procs, err := Import(b, ship(t, parcel))
+			if err != nil {
+				t.Fatalf("import: %v", err)
+			}
+			if len(procs) != 1 {
+				t.Fatalf("imported %d processes", len(procs))
+			}
+			wantType := fmt.Sprintf("%T", proc)
+			gotType := fmt.Sprintf("%T", procs[0])
+			if wantType != gotType {
+				t.Fatalf("type changed: %s → %s", wantType, gotType)
+			}
+			if tc.check != nil {
+				tc.check(t, procs[0])
+			}
+		})
+	}
+}

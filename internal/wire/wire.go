@@ -1,0 +1,452 @@
+// Package wire serializes pieces of a process-network program graph so
+// they can be shipped to other machines, re-establishing every channel
+// automatically — the Go equivalent of the paper's use of Java Object
+// Serialization with writeReplace/readResolve hooks on the stream
+// classes (§4.2).
+//
+// Exporting a set of processes produces a Parcel:
+//
+//   - Channels connecting two exported processes travel inside the
+//     parcel (including any unconsumed buffered data).
+//   - Channels crossing the parcel boundary are replaced by network
+//     descriptors. The origin node arranges the rendezvous (a token on
+//     its broker, or an in-band redirect if the channel was already
+//     remote), and the importing node reconnects — directly to whichever
+//     node actually hosts the peer end, never relaying through earlier
+//     hosts (§4.3).
+//
+// encoding/gob has no per-encoder context and no object identity, so
+// ports are encoded as small IDs resolved through a core.Transfer
+// session installed for the duration of the encode/decode. This is the
+// central gob workaround of the Go port.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"dpn/internal/core"
+	"dpn/internal/deadlock"
+	"dpn/internal/netio"
+)
+
+func init() {
+	// Composites ship as units (Figure 14 sends a CompositeProcess to a
+	// remote server), so the type must be known to gob.
+	gob.Register(&core.Composite{})
+}
+
+// portsOfDeep discovers ports including those held by the children of
+// composite processes, which move with the composite.
+func portsOfDeep(p any) []io.Closer {
+	if comp, ok := p.(*core.Composite); ok {
+		var out []io.Closer
+		for _, child := range comp.Procs {
+			out = append(out, portsOfDeep(child)...)
+		}
+		return out
+	}
+	return core.PortsOf(p)
+}
+
+// Node bundles a process network with its network broker and tracks
+// which channels are carried by which network links, so that a second
+// move of a channel end can trigger the §4.3 redirection instead of a
+// relay.
+type Node struct {
+	Net    *core.Network
+	Broker *netio.Broker
+
+	mu    sync.Mutex
+	links map[*core.Channel]*netio.Handle
+}
+
+// NewNode creates a node from an existing network and broker.
+func NewNode(net *core.Network, broker *netio.Broker) *Node {
+	return &Node{Net: net, Broker: broker, links: make(map[*core.Channel]*netio.Handle)}
+}
+
+// NewLocalNode creates a node with a fresh network and a broker on
+// listenAddr (use "127.0.0.1:0" for tests).
+func NewLocalNode(listenAddr string) (*Node, error) {
+	b, err := netio.NewBroker(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	return NewNode(core.NewNetwork(), b), nil
+}
+
+// Close shuts down the node's broker.
+func (n *Node) Close() error { return n.Broker.Close() }
+
+func (n *Node) trackLink(ch *core.Channel, h *netio.Handle) {
+	n.mu.Lock()
+	n.links[ch] = h
+	n.mu.Unlock()
+}
+
+func (n *Node) linkFor(ch *core.Channel) *netio.Handle {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.links[ch]
+}
+
+// PortDescriptor tells the importing node how to reconnect one boundary
+// channel end.
+type PortDescriptor struct {
+	ID       uint32 // transfer-session port ID referenced from the blob
+	Side     string // "reader" or "writer" — the side inside the parcel
+	Mode     string // "dial" (connect to Addr) or "serve" (peer dials us)
+	Addr     string // broker address to dial, for Mode "dial"
+	Token    string // rendezvous token
+	Name     string // channel name (diagnostics)
+	Capacity int    // channel buffer capacity to recreate
+	Leftover []byte // unconsumed bytes that travel with a moving reader
+}
+
+// ChannelDescriptor recreates a channel internal to the parcel.
+type ChannelDescriptor struct {
+	ReadID   uint32
+	WriteID  uint32
+	Name     string
+	Capacity int
+	Buffered []byte // unconsumed data preserved across the move (§3.3)
+}
+
+// Parcel is a serialized piece of a program graph.
+type Parcel struct {
+	Blob     []byte // gob of the process values, ports encoded as IDs
+	Boundary []PortDescriptor
+	Internal []ChannelDescriptor
+}
+
+// Export serializes procs (each a Process or Stepper, with exported
+// port fields) for shipment to the node whose broker listens at
+// destAddr. The processes must not be executing during the export:
+// either they have not been spawned yet (the paper's usage — graphs are
+// distributed before execution begins) or they have been suspended and
+// ejected at a step boundary (Migrate, the §6.1 future work this port
+// implements). Processes connected to the exported ones may keep
+// running throughout: their channel ends stay put, and data they
+// produce or consume concurrently flows through the re-established
+// links.
+//
+// After Export returns, the exported processes' ports are detached on
+// this node — the graph piece now lives in the parcel.
+func Export(n *Node, destAddr string, procs ...any) (*Parcel, error) {
+	type side struct {
+		reader *core.ReadPort
+		writer *core.WritePort
+	}
+	chans := make(map[*core.Channel]*side)
+	order := []*core.Channel{}
+	for _, p := range procs {
+		for _, c := range portsOfDeep(p) {
+			switch port := c.(type) {
+			case *core.ReadPort:
+				ch := port.Channel()
+				if ch == nil {
+					return nil, fmt.Errorf("wire: process %T holds a detached read port", p)
+				}
+				if chans[ch] == nil {
+					chans[ch] = &side{}
+					order = append(order, ch)
+				}
+				if chans[ch].reader != nil && chans[ch].reader != port {
+					return nil, fmt.Errorf("wire: channel %s has two readers", ch.Name())
+				}
+				chans[ch].reader = port
+			case *core.WritePort:
+				ch := port.Channel()
+				if ch == nil {
+					return nil, fmt.Errorf("wire: process %T holds a detached write port", p)
+				}
+				if chans[ch] == nil {
+					chans[ch] = &side{}
+					order = append(order, ch)
+				}
+				if chans[ch].writer != nil && chans[ch].writer != port {
+					return nil, fmt.Errorf("wire: channel %s has two writers", ch.Name())
+				}
+				chans[ch].writer = port
+			default:
+				return nil, fmt.Errorf("wire: process %T reports an unknown port type %T", p, c)
+			}
+		}
+	}
+
+	t := core.NewTransfer()
+	parcel := &Parcel{}
+	for _, ch := range order {
+		s := chans[ch]
+		switch {
+		case s.reader != nil && s.writer != nil:
+			// Internal channel: both ends move; carry the buffer along.
+			cd := ChannelDescriptor{
+				ReadID:   t.RegisterRead(s.reader),
+				WriteID:  t.RegisterWrite(s.writer),
+				Name:     ch.Name(),
+				Capacity: ch.Pipe().Cap(),
+				Buffered: ch.Pipe().Drain(),
+			}
+			s.reader.Detach()
+			s.writer.Detach()
+			parcel.Internal = append(parcel.Internal, cd)
+
+		case s.reader != nil:
+			// The consuming end moves.
+			pd, err := exportReader(n, t, ch, s.reader, destAddr)
+			if err != nil {
+				return nil, err
+			}
+			parcel.Boundary = append(parcel.Boundary, pd)
+
+		case s.writer != nil:
+			// The producing end moves.
+			pd, err := exportWriter(n, t, ch, s.writer)
+			if err != nil {
+				return nil, err
+			}
+			parcel.Boundary = append(parcel.Boundary, pd)
+		}
+	}
+
+	var buf bytes.Buffer
+	err := core.WithTransfer(t, func() error {
+		return gob.NewEncoder(&buf).Encode(&procs)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wire: encoding processes: %w", err)
+	}
+	parcel.Blob = buf.Bytes()
+	return parcel, nil
+}
+
+// exportReader handles a moving consuming end. If the channel is fully
+// local, the origin keeps the producing side and serves the bytes; if
+// the channel was itself fed over the network (its writer moved away
+// earlier), the writer host is redirected to the reader's new home.
+func exportReader(n *Node, t *core.Transfer, ch *core.Channel, r *core.ReadPort, destAddr string) (PortDescriptor, error) {
+	pd := PortDescriptor{
+		ID:       t.RegisterRead(r),
+		Side:     "reader",
+		Name:     ch.Name(),
+		Capacity: ch.Pipe().Cap(),
+	}
+	if h := n.linkFor(ch); h != nil && !h.Outbound() {
+		// Case: reader moving while its writer is already remote. Tell
+		// the writer host to reconnect directly to the destination.
+		token := n.Broker.NewToken()
+		if err := h.Move(destAddr, token); err != nil {
+			return pd, fmt.Errorf("wire: moving reader of %s: %w", ch.Name(), err)
+		}
+		// Everything delivered before the fence sits in the local pipe;
+		// it travels with the parcel.
+		ch.Pipe().CloseWrite()
+		src := r.Detach()
+		leftover, err := io.ReadAll(src)
+		if err != nil && !core.IsTermination(err) {
+			return pd, err
+		}
+		pd.Mode = "serve"
+		pd.Token = token
+		pd.Leftover = leftover
+		return pd, nil
+	}
+	// Fully local channel: the producing side stays; serve its bytes.
+	token := n.Broker.NewToken()
+	src := r.Detach()
+	h, err := n.Broker.ServeOutbound(token, src, ch.Pipe().Cap())
+	if err != nil {
+		return pd, err
+	}
+	n.trackLink(ch, h)
+	pd.Mode = "dial"
+	pd.Addr = n.Broker.Addr()
+	pd.Token = token
+	return pd, nil
+}
+
+// exportWriter handles a moving producing end. If the channel is fully
+// local, the origin keeps the consuming side and receives the bytes; if
+// the producing end was already remote-bound (it moved here earlier or
+// its reader moved away), the §4.3 REDIRECT is sent so the destination
+// connects straight to the reader's host.
+func exportWriter(n *Node, t *core.Transfer, ch *core.Channel, w *core.WritePort) (PortDescriptor, error) {
+	pd := PortDescriptor{
+		ID:       t.RegisterWrite(w),
+		Side:     "writer",
+		Name:     ch.Name(),
+		Capacity: ch.Pipe().Cap(),
+	}
+	if h := n.linkFor(ch); h != nil && h.Outbound() {
+		// Case: writer moving while its reader is already remote (the
+		// Figure 15 second hop). Announce the redirect, drain, and step
+		// out of the path.
+		token := n.Broker.NewToken()
+		peer, err := h.Redirect(token)
+		if err != nil {
+			return pd, fmt.Errorf("wire: redirecting writer of %s: %w", ch.Name(), err)
+		}
+		if sink := w.Detach(); sink != nil {
+			sink.Close() // lets the outbound link drain to the redirect frame
+		}
+		if err := h.Wait(); err != nil {
+			return pd, err
+		}
+		pd.Mode = "dial"
+		pd.Addr = peer
+		pd.Token = token
+		return pd, nil
+	}
+	// Fully local channel: the consuming side stays; receive the bytes.
+	token := n.Broker.NewToken()
+	w.Detach()
+	h, err := n.Broker.ServeInbound(token, ch.Pipe().WriteEnd())
+	if err != nil {
+		return pd, err
+	}
+	n.trackLink(ch, h)
+	pd.Mode = "dial"
+	pd.Addr = n.Broker.Addr()
+	pd.Token = token
+	return pd, nil
+}
+
+// Import reconstructs the processes of a parcel on this node,
+// recreating internal channels and reconnecting boundary channels over
+// the network. The returned processes are ready to spawn on n.Net.
+func Import(n *Node, parcel *Parcel) ([]any, error) {
+	t := core.NewTransfer()
+	for _, cd := range parcel.Internal {
+		ch := n.Net.NewChannel(cd.Name, max(cd.Capacity, len(cd.Buffered)))
+		if len(cd.Buffered) > 0 {
+			if _, err := ch.Pipe().Write(cd.Buffered); err != nil {
+				return nil, fmt.Errorf("wire: restoring buffer of %s: %w", cd.Name, err)
+			}
+		}
+		t.ProvideRead(cd.ReadID, ch.Reader())
+		t.ProvideWrite(cd.WriteID, ch.Writer())
+	}
+	for _, pd := range parcel.Boundary {
+		switch pd.Side {
+		case "reader":
+			ch := n.Net.NewChannel(pd.Name, max(pd.Capacity, len(pd.Leftover)))
+			if len(pd.Leftover) > 0 {
+				if _, err := ch.Pipe().Write(pd.Leftover); err != nil {
+					return nil, err
+				}
+			}
+			t.ProvideRead(pd.ID, ch.Reader())
+			var h *netio.Handle
+			var err error
+			if pd.Mode == "dial" {
+				h, err = n.Broker.DialInbound(pd.Addr, pd.Token, ch.Pipe().WriteEnd())
+			} else {
+				h, err = n.Broker.ServeInbound(pd.Token, ch.Pipe().WriteEnd())
+			}
+			if err != nil {
+				return nil, fmt.Errorf("wire: reconnecting reader %s: %w", pd.Name, err)
+			}
+			n.trackLink(ch, h)
+		case "writer":
+			ch := n.Net.NewChannel(pd.Name, pd.Capacity)
+			t.ProvideWrite(pd.ID, ch.Writer())
+			src := ch.Reader().Detach()
+			if pd.Mode != "dial" {
+				return nil, fmt.Errorf("wire: writer descriptor %s must dial", pd.Name)
+			}
+			h, err := n.Broker.DialOutbound(pd.Addr, pd.Token, src, pd.Capacity)
+			if err != nil {
+				return nil, fmt.Errorf("wire: reconnecting writer %s: %w", pd.Name, err)
+			}
+			n.trackLink(ch, h)
+		default:
+			return nil, fmt.Errorf("wire: unknown descriptor side %q", pd.Side)
+		}
+	}
+
+	var procs []any
+	err := core.WithTransfer(t, func() error {
+		return gob.NewDecoder(bytes.NewReader(parcel.Blob)).Decode(&procs)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding processes: %w", err)
+	}
+	return procs, nil
+}
+
+// SpawnImported imports a parcel and spawns every process it contains.
+func SpawnImported(n *Node, parcel *Parcel) ([]*core.Proc, error) {
+	procs, err := Import(n, parcel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.Proc, 0, len(procs))
+	for _, p := range procs {
+		out = append(out, n.Net.Spawn(p))
+	}
+	return out, nil
+}
+
+// Migrate implements the paper's §6.1 future work — moving a process
+// *after execution has begun*: the process is suspended at its next
+// step boundary, ejected from its goroutine with every port left open,
+// and exported for the node at destAddr. Unconsumed data buffered in
+// its channels flows through the re-established network links (or
+// travels inside the parcel for channels internal to the move), so the
+// streams the graph computes are unchanged — determinacy holds across
+// the migration.
+//
+// The caller ships the returned parcel (server.Client.RunParcel) and
+// the destination spawns it; the process resumes from its exported
+// state. Only exported fields survive the move, exactly as
+// non-transient fields do under Java serialization.
+func Migrate(n *Node, destAddr string, proc *core.Proc) (*Parcel, error) {
+	if err := proc.Suspend(); err != nil {
+		return nil, err
+	}
+	body, err := proc.Eject()
+	if err != nil {
+		return nil, err
+	}
+	return Export(n, destAddr, body)
+}
+
+// DeadlockStatus implements deadlock.Peer: a snapshot of this node's
+// scheduling state for the distributed deadlock coordinator (§6.2).
+func (n *Node) DeadlockStatus() (deadlock.NodeStatus, error) {
+	st := deadlock.NodeStatus{
+		Live:       n.Net.Live(),
+		Blocked:    n.Net.Blocked(),
+		Generation: n.Net.Generation(),
+		BytesIn:    n.Broker.BytesIn(),
+		BytesOut:   n.Broker.BytesOut(),
+	}
+	for _, ch := range n.Net.Channels() {
+		if ch.Pipe().WakePending() {
+			st.WakePending = true
+		}
+		if ch.Pipe().WriteBlockedOnFull() {
+			st.FullChannels = append(st.FullChannels, deadlock.ChannelRef{
+				Name: ch.Name(),
+				Cap:  ch.Pipe().Cap(),
+			})
+		}
+	}
+	return st, nil
+}
+
+// GrowChannel implements deadlock.Peer: grow the named channel's
+// buffer, waking blocked writers.
+func (n *Node) GrowChannel(name string, newCap int) (int, error) {
+	for _, ch := range n.Net.Channels() {
+		if ch.Name() == name {
+			return ch.Pipe().Grow(newCap), nil
+		}
+	}
+	return 0, fmt.Errorf("wire: no channel named %q", name)
+}
