@@ -1,0 +1,14 @@
+.PHONY: build test check vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# The race-enabled gate used before merging; see scripts/check.sh.
+check:
+	./scripts/check.sh

@@ -27,10 +27,45 @@ import (
 	"dpn/internal/factor"
 	"dpn/internal/graphs"
 	"dpn/internal/meta"
+	"dpn/internal/obs"
 	"dpn/internal/server"
 	"dpn/internal/viz"
 	"dpn/internal/wire"
 )
+
+// obsCfg carries the observability flags to every graph branch.
+var obsCfg struct {
+	metrics string
+	stats   bool
+}
+
+// instrument applies the -metrics / -stats flags to the network about
+// to run: it enables the event tracer, starts the observability HTTP
+// endpoint, and returns the cleanup that prints the final summary
+// table and shuts the endpoint down.
+func instrument(net *core.Network) func() {
+	scope := net.Obs()
+	var hs *obs.HTTPServer
+	if obsCfg.metrics != "" || obsCfg.stats {
+		scope.Tracer().Enable()
+	}
+	if obsCfg.metrics != "" {
+		var err error
+		hs, err = obs.ServeScope(obsCfg.metrics, scope)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpnrun: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability on http://%s/ (/metrics, /trace)\n", hs.Addr())
+	}
+	return func() {
+		if obsCfg.stats {
+			fmt.Println()
+			viz.StatsTable(os.Stdout, scope.Registry())
+		}
+		hs.Close()
+	}
+}
 
 func main() {
 	var (
@@ -45,12 +80,16 @@ func main() {
 		recurse  = flag.Bool("recursive", false, "use the recursive Sift (Figure 7) for -graph primes*")
 		validate = flag.Bool("validate", false, "for -graph factor: print the graph structure and Kahn consistency check before running (§3's front-end consistency checking)")
 		dot      = flag.Bool("dot", false, "for -graph factor: print the program graph in Graphviz DOT format and exit")
+		metrics  = flag.String("metrics", "", "observability HTTP listen address (serves /metrics and /trace while the graph runs)")
+		stats    = flag.Bool("stats", false, "print a per-channel/per-process summary table after the run")
 	)
 	flag.Parse()
+	obsCfg.metrics, obsCfg.stats = *metrics, *stats
 
 	switch *graph {
 	case "fib":
 		net := core.NewNetwork()
+		defer instrument(net)()
 		sink := graphs.Fibonacci(net, *n, false)
 		wait(net)
 		for _, v := range sink.Values() {
@@ -58,6 +97,7 @@ func main() {
 		}
 	case "primes":
 		net := core.NewNetwork()
+		defer instrument(net)()
 		sink := graphs.SieveFirstN(net, *n, mode(*recurse))
 		wait(net)
 		for _, v := range sink.Values() {
@@ -65,6 +105,7 @@ func main() {
 		}
 	case "primes-below":
 		net := core.NewNetwork()
+		defer instrument(net)()
 		sink := graphs.SieveBounded(net, *n, mode(*recurse))
 		wait(net)
 		for _, v := range sink.Values() {
@@ -72,6 +113,7 @@ func main() {
 		}
 	case "hamming":
 		net := core.NewNetwork()
+		defer instrument(net)()
 		sink := graphs.Hamming(net, *n, 64)
 		mon := deadlock.New(net, time.Millisecond)
 		mon.Start()
@@ -83,6 +125,7 @@ func main() {
 		fmt.Printf("(deadlocks resolved by buffer growth: %d)\n", mon.Resolutions())
 	case "sqrt":
 		net := core.NewNetwork()
+		defer instrument(net)()
 		sink := graphs.Sqrt(net, *x, *x/2)
 		wait(net)
 		for _, v := range sink.Values() {
@@ -148,6 +191,7 @@ func runFactor(bits, workers int, static bool, serverList, registryAddr string, 
 	if node != nil {
 		net = node.Net
 	}
+	defer instrument(net)()
 
 	source := &factor.SearchSpace{N: key.N, Batch: factor.DefaultBatch}
 	var consumer *meta.Consumer

@@ -13,8 +13,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"dpn/internal/deadlock"
+	"dpn/internal/obs"
 	"dpn/internal/server"
+	"dpn/internal/viz"
 
 	// The paper notes that "the compiled class files for the
 	// application must be available on the local file system of each
@@ -31,10 +35,12 @@ import (
 
 func main() {
 	var (
-		name     = flag.String("name", "dpn", "server name for the registry")
-		rpcAddr  = flag.String("rpc", "127.0.0.1:0", "RPC listen address")
-		broker   = flag.String("broker", "127.0.0.1:0", "channel broker listen address")
-		registry = flag.String("registry", "", "optional registry address to announce to")
+		name       = flag.String("name", "dpn", "server name for the registry")
+		rpcAddr    = flag.String("rpc", "127.0.0.1:0", "RPC listen address")
+		broker     = flag.String("broker", "127.0.0.1:0", "channel broker listen address")
+		registry   = flag.String("registry", "", "optional registry address to announce to")
+		metrics    = flag.String("metrics", "", "optional observability HTTP listen address (serves /metrics and /trace)")
+		statsEvery = flag.Duration("statsevery", 30*time.Second, "interval between stats log lines when -metrics is enabled")
 	)
 	flag.Parse()
 
@@ -45,6 +51,41 @@ func main() {
 	}
 	defer s.Close()
 	fmt.Printf("dpnserver %q rpc=%s broker=%s\n", s.Name(), s.Addr(), s.BrokerAddr())
+
+	if *metrics != "" {
+		scope := s.Node().Obs()
+		scope.Tracer().Enable()
+		// A deadlock monitor gives /metrics the §3.5 buffer-management
+		// stats. It is driven by our own ticker rather than Start() so
+		// it keeps watching across idle periods (Start's loop retires
+		// when the network has no live processes).
+		mon := deadlock.New(s.Node().Net, 5*time.Millisecond)
+		hs, err := obs.ServeScope(*metrics, scope)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpnserver: metrics:", err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("observability on http://%s/ (/metrics, /trace)\n", hs.Addr())
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			check := time.NewTicker(5 * time.Millisecond)
+			defer check.Stop()
+			logLine := time.NewTicker(*statsEvery)
+			defer logLine.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-check.C:
+					mon.Check()
+				case <-logLine.C:
+					fmt.Printf("stats: %s\n", viz.StatsLine(scope.Registry()))
+				}
+			}
+		}()
+	}
 
 	if *registry != "" {
 		if err := server.Register(*registry, *name, s.Addr()); err != nil {

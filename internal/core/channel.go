@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dpn/internal/obs"
 	"dpn/internal/stream"
 )
 
@@ -16,6 +17,12 @@ type Channel struct {
 	w    *WritePort
 	r    *ReadPort
 	net  *Network
+
+	// tokensIn/tokensOut count typed elements (not bytes) moving through
+	// the channel; package token bumps them through the ports'
+	// NoteToken hooks.
+	tokensIn  *obs.Counter
+	tokensOut *obs.Counter
 }
 
 // NewChannel creates a channel that is not registered with any network.
@@ -42,9 +49,46 @@ func newChannel(n *Network, name string, capacity int) *Channel {
 	}}
 	if n != nil {
 		pipe.SetObserver(n)
+		pipe.SetInstruments(channelInstruments(n.Obs(), name))
+		lbl := obs.L("channel", name)
+		ch.tokensIn = n.Obs().Counter("dpn_channel_tokens_total", lbl, obs.L("op", "write"))
+		ch.tokensOut = n.Obs().Counter("dpn_channel_tokens_total", lbl, obs.L("op", "read"))
 		n.registerChannel(ch)
 	}
 	return ch
+}
+
+// channelInstruments builds the per-channel pipe instruments in the
+// scope's registry. The metric-name inventory is documented in
+// DESIGN.md ("Observability").
+func channelInstruments(s *obs.Scope, name string) *stream.Instruments {
+	reg := s.Registry()
+	if reg == nil {
+		return nil
+	}
+	reg.Help("dpn_channel_bytes_total", "Bytes moved through the channel pipe, by op (read|write).")
+	reg.Help("dpn_channel_occupancy_bytes", "Bytes currently buffered in the channel pipe.")
+	reg.Help("dpn_channel_occupancy_peak_bytes", "High-water mark of buffered bytes.")
+	reg.Help("dpn_channel_capacity_bytes", "Current pipe capacity (grows on artificial deadlock).")
+	reg.Help("dpn_channel_grows_total", "Capacity growths applied to the channel.")
+	reg.Help("dpn_channel_blocks_total", "Blocking waits on the channel, by op (read|write).")
+	reg.Help("dpn_channel_block_seconds", "Duration of blocking waits, by op (read|write).")
+	reg.Help("dpn_channel_tokens_total", "Typed elements moved through the channel, by op (read|write).")
+	lbl := obs.L("channel", name)
+	return &stream.Instruments{
+		BytesWritten:      reg.Counter("dpn_channel_bytes_total", lbl, obs.L("op", "write")),
+		BytesRead:         reg.Counter("dpn_channel_bytes_total", lbl, obs.L("op", "read")),
+		Occupancy:         reg.Gauge("dpn_channel_occupancy_bytes", lbl),
+		HighWater:         reg.Gauge("dpn_channel_occupancy_peak_bytes", lbl),
+		Capacity:          reg.Gauge("dpn_channel_capacity_bytes", lbl),
+		Grows:             reg.Counter("dpn_channel_grows_total", lbl),
+		ReadBlocks:        reg.Counter("dpn_channel_blocks_total", lbl, obs.L("op", "read")),
+		WriteBlocks:       reg.Counter("dpn_channel_blocks_total", lbl, obs.L("op", "write")),
+		ReadBlockSeconds:  reg.Histogram("dpn_channel_block_seconds", nil, lbl, obs.L("op", "read")),
+		WriteBlockSeconds: reg.Histogram("dpn_channel_block_seconds", nil, lbl, obs.L("op", "write")),
+		Tracer:            s.Tracer(),
+		Name:              name,
+	}
 }
 
 // Name returns the channel's diagnostic name.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dpn/internal/obs"
 	"dpn/internal/stream"
 )
 
@@ -61,12 +62,19 @@ type Network struct {
 	errs     []error
 
 	wg         sync.WaitGroup
-	live       atomic.Int64
-	blocked    atomic.Int64
 	generation atomic.Uint64
 
 	defaultCap int
 	chanSeq    atomic.Int64
+
+	// The scheduling counters live in the observability registry so
+	// they are exported alongside everything else; the accessors below
+	// read the same instruments the deadlock monitor uses.
+	scope     *obs.Scope
+	gLive     *obs.Gauge
+	gBlocked  *obs.Gauge
+	cSpawned  *obs.Counter
+	cFailures *obs.Counter
 }
 
 // Option configures a Network.
@@ -78,17 +86,41 @@ func WithDefaultCapacity(c int) Option {
 	return func(n *Network) { n.defaultCap = c }
 }
 
+// WithObs runs the network under the given observability scope, so a
+// node's network, broker, and monitor share one registry and tracer.
+func WithObs(s *obs.Scope) Option {
+	return func(n *Network) {
+		if s != nil {
+			n.scope = s
+		}
+	}
+}
+
 // NewNetwork creates an empty execution context.
 func NewNetwork(opts ...Option) *Network {
 	n := &Network{
 		procs:      make(map[*Proc]struct{}),
 		defaultCap: stream.DefaultCapacity,
+		scope:      obs.NewScope(),
 	}
 	for _, o := range opts {
 		o(n)
 	}
+	reg := n.scope.Registry()
+	reg.Help("dpn_net_procs_live", "Processes currently executing in this network.")
+	reg.Help("dpn_net_procs_blocked", "Goroutines blocked inside a registered channel's pipe.")
+	reg.Help("dpn_net_procs_spawned_total", "Processes ever spawned in this network.")
+	reg.Help("dpn_net_proc_failures_total", "Processes that ended with a non-termination error.")
+	n.gLive = reg.Gauge("dpn_net_procs_live")
+	n.gBlocked = reg.Gauge("dpn_net_procs_blocked")
+	n.cSpawned = reg.Counter("dpn_net_procs_spawned_total")
+	n.cFailures = reg.Counter("dpn_net_proc_failures_total")
 	return n
 }
+
+// Obs returns the network's observability scope. It is never nil for a
+// network built with NewNetwork.
+func (n *Network) Obs() *obs.Scope { return n.scope }
 
 // NewChannel creates a channel registered with the network. A
 // non-positive capacity selects the network's default.
@@ -133,7 +165,9 @@ func (n *Network) Spawn(p any) *Proc {
 	n.procs[proc] = struct{}{}
 	n.mu.Unlock()
 	n.wg.Add(1)
-	n.live.Add(1)
+	n.gLive.Add(1)
+	n.cSpawned.Inc()
+	n.scope.Record(obs.EvSpawn, proc.name, "", 0)
 	n.generation.Add(1)
 	go func() {
 		defer n.finish(proc)
@@ -162,12 +196,16 @@ func (n *Network) finish(proc *Proc) {
 		proc.park.markFinished()
 	}
 	proc.state.Store(int32(StateDone))
+	detail := ""
 	if proc.err != nil {
 		n.mu.Lock()
 		n.errs = append(n.errs, proc.err)
 		n.mu.Unlock()
+		n.cFailures.Inc()
+		detail = proc.err.Error()
 	}
-	n.live.Add(-1)
+	n.scope.Record(obs.EvStop, proc.name, detail, 0)
+	n.gLive.Add(-1)
 	n.generation.Add(1)
 	close(proc.done)
 	n.wg.Done()
@@ -195,13 +233,14 @@ func (n *Network) Errors() []error {
 	return out
 }
 
-// Live reports the number of processes currently executing.
-func (n *Network) Live() int64 { return n.live.Load() }
+// Live reports the number of processes currently executing. It is a
+// thin wrapper over the registry-backed dpn_net_procs_live gauge.
+func (n *Network) Live() int64 { return n.gLive.Value() }
 
 // Blocked reports the number of goroutines currently blocked inside a
 // registered channel's pipe (reading an empty buffer or writing a full
-// one).
-func (n *Network) Blocked() int64 { return n.blocked.Load() }
+// one). It is a thin wrapper over the dpn_net_procs_blocked gauge.
+func (n *Network) Blocked() int64 { return n.gBlocked.Value() }
 
 // Generation returns a counter bumped on every scheduling-relevant state
 // change. The deadlock monitor uses it to take stable snapshots.
@@ -212,13 +251,13 @@ func (n *Network) Generation() uint64 { return n.generation.Load() }
 
 // PipeBlocked implements stream.Observer.
 func (n *Network) PipeBlocked(*stream.Pipe, bool) {
-	n.blocked.Add(1)
+	n.gBlocked.Add(1)
 	n.generation.Add(1)
 }
 
 // PipeUnblocked implements stream.Observer.
 func (n *Network) PipeUnblocked(*stream.Pipe, bool) {
-	n.blocked.Add(-1)
+	n.gBlocked.Add(-1)
 	n.generation.Add(1)
 }
 

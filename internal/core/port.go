@@ -106,6 +106,15 @@ func (p *ReadPort) RetargetSource(src io.ReadCloser) error {
 	return nil
 }
 
+// NoteToken records one typed element consumed through this port; it
+// feeds the dpn_channel_tokens_total counter. Package token calls it
+// after each successfully decoded element.
+func (p *ReadPort) NoteToken() {
+	if p.s != nil && p.s.ch != nil {
+		p.s.ch.tokensOut.Inc()
+	}
+}
+
 func (p *ReadPort) String() string { return fmt.Sprintf("ReadPort(%s)", p.Name()) }
 
 // wstate is the shared state behind a *WritePort handle.
@@ -173,6 +182,14 @@ func (p *WritePort) RetargetSink(w io.WriteCloser) (io.WriteCloser, error) {
 		return nil, ErrDetached
 	}
 	return p.s.sw.Retarget(w), nil
+}
+
+// NoteToken records one typed element produced through this port; it
+// feeds the dpn_channel_tokens_total counter.
+func (p *WritePort) NoteToken() {
+	if p.s != nil && p.s.ch != nil {
+		p.s.ch.tokensIn.Inc()
+	}
 }
 
 func (p *WritePort) String() string { return fmt.Sprintf("WritePort(%s)", p.Name()) }

@@ -2,7 +2,23 @@ package core
 
 import (
 	"errors"
+
+	"dpn/internal/obs"
 )
+
+// noteReconfig records one graph-reconfiguration primitive firing: it
+// bumps dpn_net_reconfig_total{kind} and emits an EvReconfig trace
+// event with the affected channel as the subject.
+func noteReconfig(n *Network, kind, subject string) {
+	if n == nil {
+		return
+	}
+	s := n.Obs()
+	reg := s.Registry()
+	reg.Help("dpn_net_reconfig_total", "Graph reconfigurations applied, by kind (splice-out|insert-upstream).")
+	reg.Counter("dpn_net_reconfig_total", obs.L("kind", kind)).Inc()
+	s.Record(obs.EvReconfig, subject, kind, 0)
+}
 
 // SpliceOut removes the calling process from the program graph by
 // splicing its input channel onto the front of its consumer's pending
@@ -36,6 +52,7 @@ func SpliceOut(in *ReadPort, out *WritePort) error {
 	if err := ch.Reader().appendSource(src); err != nil {
 		return err
 	}
+	noteReconfig(ch.Network(), "splice-out", ch.Name())
 	return out.Close()
 }
 
@@ -58,5 +75,6 @@ func InsertUpstream(env *Env, in *ReadPort, name string, capacity int,
 	attach func(handedOff *ReadPort, out *WritePort)) *ReadPort {
 	ch := env.NewChannel(name, capacity)
 	attach(in, ch.Writer())
+	noteReconfig(env.net, "insert-upstream", ch.Name())
 	return ch.Reader()
 }

@@ -3,8 +3,11 @@ package deadlock
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"dpn/internal/obs"
 )
 
 // This file implements the distributed half of the paper's buffer
@@ -79,6 +82,10 @@ type Coordinator struct {
 	MaxCapacity int
 	// OnEvent, if set, observes resolutions and true-deadlock reports.
 	OnEvent func(Event)
+	// Obs, if set, receives the coordinator's own round counters and
+	// deadlock events (typically the scope of the node hosting the
+	// coordinator).
+	Obs *obs.Scope
 
 	stop chan struct{}
 	done chan struct{}
@@ -150,8 +157,49 @@ func (c *Coordinator) snapshot() ([]peerSnapshot, error) {
 	return out, nil
 }
 
+// note emits a coordinator-level event into the observability scope.
+func (c *Coordinator) note(ev Event) {
+	c.Obs.Counter("dpn_deadlock_coord_events_total", obs.L("status", ev.Status.String())).Inc()
+	c.Obs.Record(obs.EvDeadlock, ev.Channel, "coord:"+ev.Status.String(), int64(ev.NewCap))
+	if c.OnEvent != nil {
+		c.OnEvent(ev)
+	}
+}
+
+// MetricsSource is implemented by peers that can render their node's
+// metrics as Prometheus text: wire.Node locally, server.Client over the
+// compute-server RPC.
+type MetricsSource interface {
+	MetricsText() (string, error)
+}
+
+// GatherMetrics scrapes every peer that implements MetricsSource and
+// merges the expositions into one multi-node Prometheus document. Peers
+// without metrics support are skipped; a failing scrape is an error so
+// partial fleets are not mistaken for healthy ones.
+func (c *Coordinator) GatherMetrics() (string, error) {
+	var texts []string
+	for i, p := range c.Peers {
+		ms, ok := p.(MetricsSource)
+		if !ok {
+			continue
+		}
+		txt, err := ms.MetricsText()
+		if err != nil {
+			return "", fmt.Errorf("deadlock: scraping peer %d: %w", i, err)
+		}
+		texts = append(texts, txt)
+	}
+	var b strings.Builder
+	if err := obs.MergeProm(&b, texts...); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
 // Check performs one global detection round.
 func (c *Coordinator) Check() (Status, error) {
+	c.Obs.Counter("dpn_deadlock_coord_rounds_total").Inc()
 	s1, err := c.snapshot()
 	if err != nil {
 		return StatusRunning, err
@@ -192,10 +240,7 @@ func (c *Coordinator) Check() (Status, error) {
 		}
 	}
 	if len(full) == 0 {
-		ev := Event{Status: StatusTrueDeadlock, Time: time.Now()}
-		if c.OnEvent != nil {
-			c.OnEvent(ev)
-		}
+		c.note(Event{Status: StatusTrueDeadlock, Time: time.Now()})
 		return StatusTrueDeadlock, nil
 	}
 	sort.Slice(full, func(i, j int) bool { return full[i].ref.Cap < full[j].ref.Cap })
@@ -215,15 +260,9 @@ func (c *Coordinator) Check() (Status, error) {
 			continue
 		}
 		c.resolutions.Add(1)
-		ev := Event{Status: StatusResolved, Channel: cd.ref.Name, NewCap: got, Time: time.Now()}
-		if c.OnEvent != nil {
-			c.OnEvent(ev)
-		}
+		c.note(Event{Status: StatusResolved, Channel: cd.ref.Name, NewCap: got, Time: time.Now()})
 		return StatusResolved, nil
 	}
-	ev := Event{Status: StatusTrueDeadlock, Time: time.Now()}
-	if c.OnEvent != nil {
-		c.OnEvent(ev)
-	}
+	c.note(Event{Status: StatusTrueDeadlock, Time: time.Now()})
 	return StatusTrueDeadlock, nil
 }

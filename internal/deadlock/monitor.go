@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dpn/internal/core"
+	"dpn/internal/obs"
 )
 
 // Status classifies what the monitor observed.
@@ -82,6 +83,11 @@ type Monitor struct {
 	events []Event
 	stop   chan struct{}
 	done   chan struct{}
+
+	scope   *obs.Scope
+	cChecks *obs.Counter
+	hCheck  *obs.Histogram
+	cEvents map[Status]*obs.Counter
 }
 
 // New creates a monitor for n with the given poll interval.
@@ -89,13 +95,25 @@ func New(n *core.Network, poll time.Duration) *Monitor {
 	if poll <= 0 {
 		poll = time.Millisecond
 	}
-	return &Monitor{
+	m := &Monitor{
 		net:          n,
 		Poll:         poll,
 		GrowthFactor: 2,
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
+	m.scope = n.Obs()
+	reg := m.scope.Registry()
+	reg.Help("dpn_deadlock_checks_total", "Detection passes run by the deadlock monitor.")
+	reg.Help("dpn_deadlock_check_seconds", "Latency of one detection pass.")
+	reg.Help("dpn_deadlock_events_total", "Deadlocks observed, by status (resolved|true-deadlock).")
+	m.cChecks = reg.Counter("dpn_deadlock_checks_total")
+	m.hCheck = reg.Histogram("dpn_deadlock_check_seconds", nil)
+	m.cEvents = map[Status]*obs.Counter{
+		StatusResolved:     reg.Counter("dpn_deadlock_events_total", obs.L("status", "resolved")),
+		StatusTrueDeadlock: reg.Counter("dpn_deadlock_events_total", obs.L("status", "true-deadlock")),
+	}
+	return m
 }
 
 // Events returns the events recorded so far.
@@ -155,6 +173,9 @@ func (m *Monitor) loop() {
 // deadlock, resolves it. It is exported so tests and callers can drive
 // detection synchronously.
 func (m *Monitor) Check() Status {
+	m.cChecks.Inc()
+	t0 := time.Now()
+	defer func() { m.hCheck.Observe(time.Since(t0).Seconds()) }()
 	live := m.net.Live()
 	if live == 0 {
 		return StatusTerminated
@@ -237,6 +258,8 @@ func (m *Monitor) record(ev Event) {
 	m.events = append(m.events, ev)
 	cb := m.OnEvent
 	m.mu.Unlock()
+	m.cEvents[ev.Status].Inc()
+	m.scope.Record(obs.EvDeadlock, ev.Channel, ev.Status.String(), int64(ev.NewCap))
 	if cb != nil {
 		cb(ev)
 	}

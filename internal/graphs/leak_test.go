@@ -1,11 +1,13 @@
 package graphs
 
 import (
+	"net/http"
 	"runtime"
 	"testing"
 	"time"
 
 	"dpn/internal/core"
+	"dpn/internal/obs"
 )
 
 // goroutineSettled waits for the goroutine count to drop back to (or
@@ -46,6 +48,43 @@ func TestNoGoroutineLeakAfterTermination(t *testing.T) {
 		buf := make([]byte, 1<<16)
 		n := runtime.Stack(buf, true)
 		t.Fatalf("goroutines leaked: %d -> %d\n%s",
+			baseline, runtime.NumGoroutine(), buf[:n])
+	}
+}
+
+// Observability must not change the leak story: with the tracer
+// enabled and a metrics HTTP listener serving during the run, Close
+// must release the listener's goroutines and the network's processes
+// must still all terminate.
+func TestNoGoroutineLeakWhenInstrumented(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		n := core.NewNetwork()
+		n.Obs().Tracer().Enable()
+		hs, err := obs.ServeScope("127.0.0.1:0", n.Obs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		SieveFirstN(n, 20, SieveIterative)
+		if err := n.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		// Exercise the endpoints while live so handler goroutines exist.
+		for _, path := range []string{"/metrics", "/trace"} {
+			resp, err := http.Get("http://" + hs.Addr() + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			resp.Body.Close()
+		}
+		if err := hs.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !goroutineSettled(baseline) {
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines leaked with instrumentation: %d -> %d\n%s",
 			baseline, runtime.NumGoroutine(), buf[:n])
 	}
 }

@@ -64,7 +64,7 @@ func NewStatic(n *core.Network, source Task, workers, capacity int) *Static {
 		wt := n.NewChannel(fmt.Sprintf("result%d", i), capacity)
 		st.Scatter.Outs = append(st.Scatter.Outs, tw.Writer())
 		st.Gather.Ins = append(st.Gather.Ins, wt.Reader())
-		st.Workers = append(st.Workers, &Worker{In: tw.Reader(), Out: wt.Writer()})
+		st.Workers = append(st.Workers, &Worker{In: tw.Reader(), Out: wt.Writer(), Tag: fmt.Sprintf("w%d", i)})
 	}
 	return st
 }
@@ -135,7 +135,7 @@ func NewDynamic(n *core.Network, source Task, workers, capacity int) *Dynamic {
 		wt := n.NewChannel(fmt.Sprintf("result%d", i), capacity)
 		dyn.Direct.Outs = append(dyn.Direct.Outs, tw.Writer())
 		dyn.Turnstile.Ins = append(dyn.Turnstile.Ins, wt.Reader())
-		dyn.Workers = append(dyn.Workers, &Worker{In: tw.Reader(), Out: wt.Writer()})
+		dyn.Workers = append(dyn.Workers, &Worker{In: tw.Reader(), Out: wt.Writer(), Tag: fmt.Sprintf("w%d", i)})
 	}
 	return dyn
 }

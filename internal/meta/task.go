@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"dpn/internal/core"
+	"dpn/internal/obs"
 	"dpn/internal/token"
 )
 
@@ -52,6 +53,38 @@ func readTask(r *core.ReadPort) (Task, error) {
 	return t, nil
 }
 
+// stageObs caches the per-stage task counter and the trace scope of the
+// network the process currently runs in. The fields are unexported, so
+// gob drops them when a process migrates and the next Step re-binds
+// them against the destination node's registry — task counts land on
+// whichever node did the work, which is exactly the Table 2 view.
+type stageObs struct {
+	scope *obs.Scope
+	tasks *obs.Counter
+	subj  string
+}
+
+func (o *stageObs) bind(env *core.Env, stage, worker string) {
+	if o.scope != nil {
+		return
+	}
+	o.scope = env.Network().Obs()
+	reg := o.scope.Registry()
+	reg.Help("dpn_meta_tasks_total", "Tasks handled by the meta-framework, by stage (produced|worked|consumed) and worker tag.")
+	labels := []obs.Label{obs.L("stage", stage)}
+	o.subj = stage
+	if worker != "" {
+		labels = append(labels, obs.L("worker", worker))
+		o.subj = stage + ":" + worker
+	}
+	o.tasks = reg.Counter("dpn_meta_tasks_total", labels...)
+}
+
+func (o *stageObs) note() {
+	o.tasks.Inc()
+	o.scope.Record(obs.EvTask, o.subj, "", 0)
+}
+
 // Producer repeatedly invokes Run on its Source task and writes each
 // resulting worker task to Out (§5.1). It stops when Source.Run returns
 // nil, when the iteration limit is reached, or when the output channel
@@ -60,10 +93,13 @@ type Producer struct {
 	core.Iterative
 	Source Task
 	Out    *core.WritePort
+
+	obs stageObs
 }
 
 // Step implements core.Stepper.
 func (p *Producer) Step(env *core.Env) error {
+	p.obs.bind(env, "produced", "")
 	t, err := p.Source.Run()
 	if err != nil {
 		return err
@@ -71,7 +107,11 @@ func (p *Producer) Step(env *core.Env) error {
 	if t == nil {
 		return io.EOF
 	}
-	return writeTask(p.Out, t)
+	if err := writeTask(p.Out, t); err != nil {
+		return err
+	}
+	p.obs.note()
+	return nil
 }
 
 // Worker reads a task, runs it, and writes the result (§5.1). The same
@@ -81,10 +121,19 @@ type Worker struct {
 	core.Iterative
 	In  *core.ReadPort
 	Out *core.WritePort
+
+	// Tag identifies the worker in the dpn_meta_tasks_total{worker=...}
+	// label, making load (im)balance across workers visible (the
+	// paper's Table 2 comparison of static vs dynamic balancing). It is
+	// exported so it survives migration.
+	Tag string
+
+	obs stageObs
 }
 
 // Step implements core.Stepper.
 func (w *Worker) Step(env *core.Env) error {
+	w.obs.bind(env, "worked", w.Tag)
 	t, err := readTask(w.In)
 	if err != nil {
 		return err
@@ -93,7 +142,11 @@ func (w *Worker) Step(env *core.Env) error {
 	if err != nil {
 		return err
 	}
-	return writeTask(w.Out, r)
+	if err := writeTask(w.Out, r); err != nil {
+		return err
+	}
+	w.obs.note()
+	return nil
 }
 
 // Consumer reads a task, runs it, and discards the result (§5.1). If
@@ -106,6 +159,8 @@ type Consumer struct {
 	mu       sync.Mutex
 	onResult func(ran Task, result Task)
 	consumed int64
+
+	obs stageObs
 }
 
 // SetOnResult installs a local observation hook invoked after each task
@@ -126,6 +181,7 @@ func (c *Consumer) Consumed() int64 {
 
 // Step implements core.Stepper.
 func (c *Consumer) Step(env *core.Env) error {
+	c.obs.bind(env, "consumed", "")
 	t, err := readTask(c.In)
 	if err != nil {
 		return err
@@ -134,6 +190,7 @@ func (c *Consumer) Step(env *core.Env) error {
 	if err != nil {
 		return err
 	}
+	c.obs.note()
 	c.mu.Lock()
 	c.consumed++
 	hook := c.onResult

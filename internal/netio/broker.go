@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dpn/internal/obs"
 )
 
 // Broker is a node's single network endpoint. All channel connections
@@ -26,8 +28,9 @@ type Broker struct {
 	pendingTTL time.Duration
 	closed     bool
 
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
+	// ins is the active observability bundle; swapped whole by SetObs
+	// so the per-byte hot path is one atomic load.
+	ins atomic.Pointer[brokerInstruments]
 
 	acceptDone chan struct{}
 }
@@ -54,6 +57,7 @@ func NewBroker(listenAddr string) (*Broker, error) {
 		pendingTTL: rendezvousTimeout,
 		acceptDone: make(chan struct{}),
 	}
+	b.ins.Store(newBrokerInstruments(obs.NewScope()))
 	go b.acceptLoop()
 	return b, nil
 }
@@ -83,12 +87,15 @@ func (b *Broker) expirePending(now time.Time) {
 func (b *Broker) Addr() string { return b.addr }
 
 // BytesIn reports the total channel payload bytes received by this
-// node. The §4.3 redirection test uses these counters to prove that no
-// traffic relays through the original host after a second move.
-func (b *Broker) BytesIn() int64 { return b.bytesIn.Load() }
+// node, as a thin wrapper over the registry-backed
+// dpn_broker_bytes_total{dir="in"} counter. The §4.3 redirection test
+// uses these counters to prove that no traffic relays through the
+// original host after a second move.
+func (b *Broker) BytesIn() int64 { return b.ins.Load().bytesIn.Value() }
 
-// BytesOut reports the total channel payload bytes sent by this node.
-func (b *Broker) BytesOut() int64 { return b.bytesOut.Load() }
+// BytesOut reports the total channel payload bytes sent by this node
+// (dpn_broker_bytes_total{dir="out"}).
+func (b *Broker) BytesOut() int64 { return b.ins.Load().bytesOut.Value() }
 
 // Close shuts the listener down and closes pending connections.
 func (b *Broker) Close() error {
@@ -131,6 +138,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	b.noteFrame(frameHello, false, 0)
 	conn.SetReadDeadline(time.Time{})
 	b.mu.Lock()
 	if b.closed {
@@ -183,6 +191,7 @@ func (b *Broker) dial(addr, token string) (net.Conn, error) {
 		conn.Close()
 		return nil, err
 	}
+	b.noteFrame(frameHello, true, 0)
 	return conn, nil
 }
 
@@ -202,13 +211,13 @@ type countConn struct {
 
 func (c countConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
-	c.b.bytesIn.Add(int64(n))
+	c.b.ins.Load().bytesIn.Add(int64(n))
 	return n, err
 }
 
 func (c countConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
-	c.b.bytesOut.Add(int64(n))
+	c.b.ins.Load().bytesOut.Add(int64(n))
 	return n, err
 }
 

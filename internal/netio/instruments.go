@@ -1,0 +1,103 @@
+package netio
+
+import (
+	"dpn/internal/obs"
+)
+
+// frameKinds enumerates every protocol frame so the per-kind counters
+// can be precreated and therefore appear (at zero) in the exposition
+// before any traffic flows.
+var frameKinds = []struct {
+	kind byte
+	name string
+}{
+	{frameHello, "hello"},
+	{frameData, "data"},
+	{frameEOF, "eof"},
+	{frameRedirect, "redirect"},
+	{frameCloseRead, "close-read"},
+	{frameMoving, "moving"},
+	{frameFence, "fence"},
+	{frameAck, "ack"},
+}
+
+func frameKindName(kind byte) string {
+	for _, fk := range frameKinds {
+		if fk.kind == kind {
+			return fk.name
+		}
+	}
+	return "unknown"
+}
+
+// brokerInstruments holds the broker's registry-backed counters. The
+// whole bundle is swapped atomically by SetObs, so the hot paths load
+// one pointer and never race with re-instrumentation.
+type brokerInstruments struct {
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	framesIn     map[byte]*obs.Counter
+	framesOut    map[byte]*obs.Counter
+	frameUnknown *obs.Counter
+	creditStalls *obs.Counter
+	tracer       *obs.Tracer
+}
+
+// newBrokerInstruments creates the broker metric family in the scope's
+// registry, precreating the per-kind frame counters at zero.
+func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
+	reg := s.Registry()
+	reg.Help("dpn_broker_bytes_total", "Channel-link bytes through the broker, by dir (in|out).")
+	reg.Help("dpn_broker_frames_total", "Protocol frames through the broker, by kind and dir (in|out).")
+	reg.Help("dpn_broker_credit_stalls_total", "Times an outbound link waited for flow-control credit.")
+	ins := &brokerInstruments{
+		bytesIn:      reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
+		bytesOut:     reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
+		framesIn:     make(map[byte]*obs.Counter, len(frameKinds)),
+		framesOut:    make(map[byte]*obs.Counter, len(frameKinds)),
+		creditStalls: reg.Counter("dpn_broker_credit_stalls_total"),
+		tracer:       s.Tracer(),
+	}
+	for _, fk := range frameKinds {
+		ins.framesIn[fk.kind] = reg.Counter("dpn_broker_frames_total",
+			obs.L("dir", "in"), obs.L("kind", fk.name))
+		ins.framesOut[fk.kind] = reg.Counter("dpn_broker_frames_total",
+			obs.L("dir", "out"), obs.L("kind", fk.name))
+	}
+	ins.frameUnknown = reg.Counter("dpn_broker_frames_total",
+		obs.L("dir", "in"), obs.L("kind", "unknown"))
+	return ins
+}
+
+// SetObs re-homes the broker's counters into the given observability
+// scope. Call it before any links are created: counts accumulated under
+// the previous scope stay there.
+func (b *Broker) SetObs(s *obs.Scope) {
+	if s == nil {
+		return
+	}
+	b.ins.Store(newBrokerInstruments(s))
+}
+
+// noteFrame counts one protocol frame and traces it; dir is from this
+// node's perspective.
+func (b *Broker) noteFrame(kind byte, out bool, payload int) {
+	ins := b.ins.Load()
+	m := ins.framesIn
+	dir := "in"
+	if out {
+		m = ins.framesOut
+		dir = "out"
+	}
+	c, ok := m[kind]
+	if !ok {
+		c = ins.frameUnknown
+	}
+	c.Inc()
+	ins.tracer.Record(obs.EvFrame, frameKindName(kind), dir, int64(payload))
+}
+
+// noteCreditStall counts one flow-control wait on an outbound link.
+func (b *Broker) noteCreditStall() {
+	b.ins.Load().creditStalls.Inc()
+}

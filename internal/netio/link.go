@@ -298,6 +298,9 @@ const (
 // connection (with a fresh control reader) is returned through *conn
 // and *ctrl.
 func (o *outboundLink) handleCtrl(ev ctrlEvent, conn *net.Conn, ctrl *chan ctrlEvent) ctrlOutcome {
+	if ev.err == nil {
+		o.h.b.noteFrame(ev.f.kind, false, 0)
+	}
 	switch {
 	case ev.err != nil:
 		// Peer vanished: poison the local writer so the process network
@@ -323,6 +326,7 @@ func (o *outboundLink) handleCtrl(ev ctrlEvent, conn *net.Conn, ctrl *chan ctrlE
 		// directly to the new host. Bytes on the old path land in the
 		// old host's leftover buffer, so the in-flight count resets.
 		writeFrame(*conn, frame{kind: frameFence})
+		o.h.b.noteFrame(frameFence, true, 0)
 		halfCloseWrite(*conn)
 		(*conn).Close()
 		newConn, err := o.h.b.dial(ev.f.addr, ev.f.token)
@@ -356,7 +360,11 @@ func (o *outboundLink) run(conn net.Conn) {
 				// Source exhausted (or poisoned): finish the stream.
 				err := o.srcErr
 				if err == nil {
-					err = writeFrame(conn, o.finalFrame())
+					final := o.finalFrame()
+					err = writeFrame(conn, final)
+					if err == nil {
+						o.h.b.noteFrame(final.kind, true, 0)
+					}
 				}
 				halfCloseWrite(conn)
 				drainCtrl(conn, ctrl)
@@ -366,6 +374,9 @@ func (o *outboundLink) run(conn net.Conn) {
 			}
 			// Flow control: wait for credit before sending, so the
 			// receiving pipe's capacity bounds the channel end to end.
+			if o.window > 0 && o.inFlight > 0 && o.inFlight+len(chunk) > o.window {
+				o.h.b.noteCreditStall()
+			}
 			for o.window > 0 && o.inFlight > 0 && o.inFlight+len(chunk) > o.window {
 				ev := <-ctrl
 				switch o.handleCtrl(ev, &conn, &ctrl) {
@@ -380,6 +391,7 @@ func (o *outboundLink) run(conn net.Conn) {
 				o.h.finish(fmt.Errorf("netio: send failed: %w", err))
 				return
 			}
+			o.h.b.noteFrame(frameData, true, len(chunk))
 			o.inFlight += len(chunk)
 		case ev := <-ctrl:
 			if o.handleCtrl(ev, &conn, &ctrl) == ctrlStop {
@@ -431,7 +443,11 @@ func (i *inboundLink) sendMoving(addr, token string) error {
 		return errors.New("netio: link not connected")
 	}
 	i.moving = true
-	return writeFrame(i.conn, frame{kind: frameMoving, token: token, addr: addr})
+	err := writeFrame(i.conn, frame{kind: frameMoving, token: token, addr: addr})
+	if err == nil {
+		i.h.b.noteFrame(frameMoving, true, 0)
+	}
+	return err
 }
 
 func (i *inboundLink) setConn(conn net.Conn) {
@@ -458,6 +474,7 @@ func (i *inboundLink) run(conn net.Conn) {
 			i.h.finish(nil)
 			return
 		}
+		i.h.b.noteFrame(f.kind, false, len(f.payload))
 		switch f.kind {
 		case frameData:
 			if _, err := i.dst.Write(f.payload); err != nil {
@@ -465,6 +482,7 @@ func (i *inboundLink) run(conn net.Conn) {
 				i.mu.Lock()
 				writeFrame(conn, frame{kind: frameCloseRead})
 				i.mu.Unlock()
+				i.h.b.noteFrame(frameCloseRead, true, 0)
 				conn.Close()
 				i.h.finish(nil)
 				return
@@ -473,6 +491,7 @@ func (i *inboundLink) run(conn net.Conn) {
 			i.mu.Lock()
 			writeFrame(conn, frame{kind: frameAck, ack: len(f.payload)})
 			i.mu.Unlock()
+			i.h.b.noteFrame(frameAck, true, 0)
 		case frameEOF:
 			i.dst.Close()
 			conn.Close()

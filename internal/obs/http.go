@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPServer is the opt-in observability endpoint: it serves the
+// Prometheus text exposition at /metrics and the Chrome trace_event
+// JSON at /trace. Close shuts the listener and every active connection
+// down and waits for the serve goroutine to exit, so servers that
+// enable metrics leak nothing on shutdown.
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeHTTP starts the observability endpoint on addr (use
+// "127.0.0.1:0" to pick a free port). metrics writes the exposition;
+// trace writes the trace JSON; either may be nil to disable that path.
+func ServeHTTP(addr string, metrics, trace func(io.Writer) error) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>dpn observability</h1>`+
+			`<p><a href="/metrics">/metrics</a> Prometheus text exposition</p>`+
+			`<p><a href="/trace">/trace</a> Chrome trace_event JSON (load in chrome://tracing or Perfetto)</p>`+
+			`</body></html>`)
+	})
+	if metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := metrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if trace != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="dpn-trace.json"`)
+			if err := trace(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	s := &HTTPServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// ServeScope starts the observability endpoint for one scope.
+func ServeScope(addr string, scope *Scope) (*HTTPServer, error) {
+	return ServeHTTP(addr, scope.WriteProm, scope.WriteTrace)
+}
+
+// Addr returns the endpoint's listen address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes active connections, and waits for
+// the serve goroutine to exit.
+func (s *HTTPServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

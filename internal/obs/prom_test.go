@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden test of the exposition: families sorted, HELP/TYPE once per
+// family, histogram expanded into _bucket/_sum/_count, base labels
+// injected first.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("bytes_total", "Bytes moved.")
+	r.Counter("bytes_total", L("channel", "ab"), L("op", "write")).Add(128)
+	r.Counter("bytes_total", L("channel", "ab"), L("op", "read")).Add(64)
+	r.Gauge("occupancy").Set(7)
+	h := r.Histogram("wait_seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b, L("node", "n1")); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP bytes_total Bytes moved.
+# TYPE bytes_total counter
+bytes_total{node="n1",channel="ab",op="read"} 64
+bytes_total{node="n1",channel="ab",op="write"} 128
+# TYPE occupancy gauge
+occupancy{node="n1"} 7
+# TYPE wait_seconds histogram
+wait_seconds_bucket{node="n1",le="0.5"} 1
+wait_seconds_bucket{node="n1",le="1"} 1
+wait_seconds_bucket{node="n1",le="+Inf"} 2
+wait_seconds_sum{node="n1"} 2.25
+wait_seconds_count{node="n1"} 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("name", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `c{name="a\"b\\c\n"} 1` + "\n"; !strings.Contains(b.String(), want) {
+		t.Errorf("label not escaped: %q", b.String())
+	}
+}
+
+// MergeProm joins several node expositions, deduplicating repeated
+// HELP/TYPE headers — the multi-node scrape of Coordinator.
+// GatherMetrics depends on this producing one valid document.
+func TestMergeProm(t *testing.T) {
+	mk := func(node string) string {
+		r := NewRegistry()
+		r.Help("live", "Live processes.")
+		r.Gauge("live").Set(3)
+		var b strings.Builder
+		if err := r.WriteProm(&b, L("node", node)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	if err := MergeProm(&b, mk("n1"), mk("n2")); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if strings.Count(got, "# HELP live") != 1 || strings.Count(got, "# TYPE live") != 1 {
+		t.Errorf("headers not deduplicated:\n%s", got)
+	}
+	for _, series := range []string{`live{node="n1"} 3`, `live{node="n2"} 3`} {
+		if !strings.Contains(got, series) {
+			t.Errorf("merged exposition missing %q:\n%s", series, got)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// EventType classifies one traced runtime event.
+type EventType uint8
+
+const (
+	// EvRead is a token/byte read from a channel (Arg = bytes).
+	EvRead EventType = iota
+	// EvWrite is a token/byte write to a channel (Arg = bytes).
+	EvWrite
+	// EvBlock marks a goroutine blocking on a channel (Detail "read" or
+	// "write").
+	EvBlock
+	// EvUnblock marks the blocked operation resuming (Arg = nanoseconds
+	// spent blocked).
+	EvUnblock
+	// EvGrow marks a channel capacity growth (Arg = new capacity).
+	EvGrow
+	// EvSpawn marks a process starting.
+	EvSpawn
+	// EvStop marks a process finishing (Detail carries the error, if
+	// any).
+	EvStop
+	// EvReconfig marks a run-time graph reconfiguration (Detail
+	// "splice-out" or "insert-upstream"; Name is the channel involved).
+	EvReconfig
+	// EvFrame marks one network protocol frame (Name is the frame kind,
+	// Detail "out" or "in", Arg = payload bytes).
+	EvFrame
+	// EvMigrate marks one phase of a process migration (Detail
+	// "suspend", "export", "import", or "redirect").
+	EvMigrate
+	// EvDeadlock marks a deadlock-monitor verdict (Detail is the
+	// status; Name the grown channel, if any; Arg the new capacity).
+	EvDeadlock
+	// EvTask marks a meta-framework task passing one stage (Name is the
+	// stage id, "worker:<tag>" for workers).
+	EvTask
+	// EvRPC marks one compute-server RPC (Name is the request kind).
+	EvRPC
+)
+
+var evNames = [...]string{
+	EvRead:     "read",
+	EvWrite:    "write",
+	EvBlock:    "block",
+	EvUnblock:  "unblock",
+	EvGrow:     "grow",
+	EvSpawn:    "spawn",
+	EvStop:     "stop",
+	EvReconfig: "reconfig",
+	EvFrame:    "frame",
+	EvMigrate:  "migrate",
+	EvDeadlock: "deadlock",
+	EvTask:     "task",
+	EvRPC:      "rpc",
+}
+
+func (t EventType) String() string {
+	if int(t) < len(evNames) {
+		return evNames[t]
+	}
+	return "event"
+}
+
+// cat maps an event type to its Chrome trace category.
+func (t EventType) cat() string {
+	switch t {
+	case EvRead, EvWrite, EvBlock, EvUnblock, EvGrow:
+		return "channel"
+	case EvSpawn, EvStop:
+		return "process"
+	case EvReconfig:
+		return "reconfig"
+	case EvFrame, EvMigrate:
+		return "net"
+	case EvDeadlock:
+		return "deadlock"
+	case EvTask:
+		return "meta"
+	case EvRPC:
+		return "rpc"
+	default:
+		return "runtime"
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	TS     int64 // nanoseconds since the tracer's epoch
+	Type   EventType
+	Name   string // subject: channel, process, frame kind, …
+	Detail string
+	Arg    int64
+}
+
+// Tracer records typed events into a fixed-size ring buffer. Recording
+// is lock-free: writers claim a slot with one atomic increment and
+// publish the event through an atomic pointer, so tracing may be left
+// wired into hot paths and enabled on demand; while disabled, Record is
+// a single atomic load.
+type Tracer struct {
+	enabled atomic.Bool
+	epoch   time.Time
+	mask    uint64
+	slots   []atomic.Pointer[Event]
+	cursor  atomic.Uint64 // total events ever recorded
+	// counts survive ring eviction: the ring keeps only the newest
+	// events, but per-type totals stay exact for the whole run.
+	counts [len(evNames)]atomic.Uint64
+}
+
+// DefaultTraceSize is the ring capacity used when NewTracer is given a
+// non-positive size.
+const DefaultTraceSize = 16384
+
+// NewTracer returns a disabled tracer whose ring holds size events
+// (rounded up to a power of two; non-positive selects
+// DefaultTraceSize).
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultTraceSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Tracer{
+		epoch: time.Now(),
+		mask:  uint64(n - 1),
+		slots: make([]atomic.Pointer[Event], n),
+	}
+}
+
+// Enable turns recording on.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable turns recording off; the ring contents remain readable.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.enabled.Load()
+}
+
+// Record appends one event if the tracer is enabled. It is safe for
+// concurrent use and on a nil tracer.
+func (t *Tracer) Record(typ EventType, name, detail string, arg int64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	ev := &Event{
+		TS:     time.Since(t.epoch).Nanoseconds(),
+		Type:   typ,
+		Name:   name,
+		Detail: detail,
+		Arg:    arg,
+	}
+	if int(typ) < len(t.counts) {
+		t.counts[typ].Add(1)
+	}
+	idx := t.cursor.Add(1) - 1
+	t.slots[idx&t.mask].Store(ev)
+}
+
+// Count reports how many events of one type have ever been recorded,
+// including ones the ring has since overwritten.
+func (t *Tracer) Count(typ EventType) uint64 {
+	if t == nil || int(typ) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[typ].Load()
+}
+
+// Total reports how many events have ever been recorded (including
+// ones the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.cursor.Load()
+}
+
+// Events returns the ring contents, oldest first. With concurrent
+// writers the snapshot is approximate at the ring edges; slots claimed
+// but not yet published are skipped.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	total := t.cursor.Load()
+	n := uint64(len(t.slots))
+	start := uint64(0)
+	if total > n {
+		start = total - n
+	}
+	out := make([]Event, 0, total-start)
+	for i := start; i < total; i++ {
+		if ev := t.slots[i&t.mask].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// traceEvent is one entry of the Chrome trace_event JSON format, as
+// consumed by chrome://tracing and Perfetto.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace exports the ring contents as Chrome trace_event JSON. Each
+// distinct event subject (channel, process, …) becomes one named track,
+// so per-channel and per-process timelines line up visually.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	events := t.Events()
+	tids := make(map[string]int)
+	out := make([]traceEvent, 0, len(events)+8)
+	for _, ev := range events {
+		tid, ok := tids[ev.Name]
+		if !ok {
+			tid = len(tids) + 1
+			tids[ev.Name] = tid
+			out = append(out, traceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": ev.Name},
+			})
+		}
+		te := traceEvent{
+			Name: ev.Type.String(),
+			Cat:  ev.Type.cat(),
+			Ph:   "i",
+			S:    "t",
+			TS:   float64(ev.TS) / 1e3,
+			PID:  1,
+			TID:  tid,
+			Args: map[string]any{"subject": ev.Name, "arg": ev.Arg},
+		}
+		if ev.Detail != "" {
+			te.Args["detail"] = ev.Detail
+		}
+		out = append(out, te)
+	}
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	// Encoder appends a newline after the array; close the object after
+	// it for readability.
+	if _, err := bw.WriteString("}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

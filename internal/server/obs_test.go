@@ -1,0 +1,72 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"dpn/internal/deadlock"
+)
+
+// The "metrics" RPC lets a coordinator scrape a remote node without a
+// separate HTTP listener: the exposition travels over the existing
+// compute-server connection, node label already applied.
+func TestMetricsOverRPC(t *testing.T) {
+	s := newTestServer(t, "obs")
+	c := newTestClient(t, s)
+
+	// Ping first so at least one RPC is counted.
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := s.Node().Broker.Addr()
+	if !strings.Contains(text, `node="`+node+`"`) {
+		t.Errorf("exposition missing node=%q label:\n%s", node, text)
+	}
+	if !strings.Contains(text, `dpn_server_rpcs_total{node="`+node+`",kind="ping"}`) {
+		t.Errorf("exposition missing the ping RPC counter:\n%s", text)
+	}
+}
+
+// GatherMetrics must merge the expositions of every peer — local
+// wire.Nodes and remote server.Clients alike — into one document with
+// per-node series, the §6.2 coordinator's global view.
+func TestCoordinatorGatherMetrics(t *testing.T) {
+	s := newTestServer(t, "remote")
+	c := newTestClient(t, s)
+	local := localNode(t)
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	local.Net.NewChannel("warm", 8) // give the local node a series too
+
+	coord := deadlock.NewCoordinator(local, c)
+	merged, err := coord.GatherMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{local.Broker.Addr(), s.Node().Broker.Addr()} {
+		if !strings.Contains(merged, `node="`+node+`"`) {
+			t.Errorf("merged exposition missing node %q:\n%s", node, merged)
+		}
+	}
+	// Shared families must keep a single TYPE header after the merge.
+	if got := strings.Count(merged, "# TYPE dpn_server_rpcs_total"); got > 1 {
+		t.Errorf("TYPE header repeated %d times after merge", got)
+	}
+}
+
+// A dead peer must fail the scrape loudly rather than yield a partial
+// fleet view.
+func TestGatherMetricsFailsOnDeadPeer(t *testing.T) {
+	s := newTestServer(t, "gone")
+	c := newTestClient(t, s)
+	s.Close()
+	coord := deadlock.NewCoordinator(c)
+	if _, err := coord.GatherMetrics(); err == nil {
+		t.Fatal("scrape of a closed server succeeded")
+	}
+}

@@ -26,12 +26,13 @@ import (
 	"dpn/internal/core"
 	"dpn/internal/deadlock"
 	"dpn/internal/meta"
+	"dpn/internal/obs"
 	"dpn/internal/wire"
 )
 
 // Request is one RPC request.
 type Request struct {
-	Kind     string // "ping", "info", "run", "call", "live", "errors", "dstatus", "grow"
+	Kind     string // "ping", "info", "run", "call", "live", "errors", "dstatus", "grow", "metrics"
 	Parcel   *wire.Parcel
 	TaskBlob []byte
 	Channel  string // "grow": channel name
@@ -48,6 +49,8 @@ type Response struct {
 	ProcNames  []string
 	Status     *deadlock.NodeStatus
 	GrownCap   int
+	// MetricsText carries the node's Prometheus exposition ("metrics").
+	MetricsText string
 }
 
 // Server is a generic compute server: one process network, one broker,
@@ -76,6 +79,8 @@ func New(name, rpcAddr, brokerAddr string) (*Server, error) {
 		node.Close()
 		return nil, err
 	}
+	node.Obs().Registry().Help("dpn_server_rpcs_total",
+		"Compute-server RPC requests handled, by kind.")
 	s := &Server{name: name, node: node, ln: ln, conns: make(map[net.Conn]struct{})}
 	go s.acceptLoop()
 	return s, nil
@@ -167,7 +172,16 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *Request) *Response {
+	scope := s.node.Obs()
+	scope.Counter("dpn_server_rpcs_total", obs.L("kind", req.Kind)).Inc()
+	scope.Record(obs.EvRPC, req.Kind, "", 0)
 	switch req.Kind {
+	case "metrics":
+		txt, err := s.node.MetricsText()
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		return &Response{MetricsText: txt}
 	case "ping":
 		return &Response{Name: s.name}
 	case "info":
@@ -413,4 +427,16 @@ func (c *Client) GrowChannel(name string, newCap int) (int, error) {
 		return 0, err
 	}
 	return resp.GrownCap, nil
+}
+
+// MetricsText implements deadlock.MetricsSource over the RPC: it
+// returns the remote node's Prometheus exposition, so a coordinator can
+// merge the metrics of a whole distributed graph (Coordinator.
+// GatherMetrics).
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.roundTrip(&Request{Kind: "metrics"})
+	if err != nil {
+		return "", err
+	}
+	return resp.MetricsText, nil
 }

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"time"
+
+	"dpn/internal/obs"
+)
+
+// Instruments aggregates the observability hooks of one pipe: byte and
+// block counters, occupancy gauges, block-duration histograms, and the
+// event tracer. Every field may be nil; a pipe with a nil *Instruments
+// pays a single branch per operation. The instruments are created by
+// whoever registers the pipe (core.Network.NewChannel) so this package
+// stays free of naming policy.
+type Instruments struct {
+	BytesWritten *obs.Counter
+	BytesRead    *obs.Counter
+	Occupancy    *obs.Gauge // current buffered bytes
+	HighWater    *obs.Gauge // peak buffered bytes
+	Capacity     *obs.Gauge
+	Grows        *obs.Counter
+	ReadBlocks   *obs.Counter
+	WriteBlocks  *obs.Counter
+	// ReadBlockSeconds and WriteBlockSeconds observe how long each
+	// blocked channel operation waited, in seconds.
+	ReadBlockSeconds  *obs.Histogram
+	WriteBlockSeconds *obs.Histogram
+	Tracer            *obs.Tracer
+	Name              string // trace subject, normally the channel name
+}
+
+// noteWrite records nw bytes entering the pipe, with occ bytes now
+// buffered. Called with the pipe lock held.
+func (m *Instruments) noteWrite(nw, occ int) {
+	if m == nil {
+		return
+	}
+	m.BytesWritten.Add(int64(nw))
+	m.Occupancy.Set(int64(occ))
+	m.HighWater.Max(int64(occ))
+	m.Tracer.Record(obs.EvWrite, m.Name, "", int64(nw))
+}
+
+// noteRead records nr bytes leaving the pipe.
+func (m *Instruments) noteRead(nr, occ int) {
+	if m == nil {
+		return
+	}
+	m.BytesRead.Add(int64(nr))
+	m.Occupancy.Set(int64(occ))
+	m.Tracer.Record(obs.EvRead, m.Name, "", int64(nr))
+}
+
+// noteGrow records a capacity growth.
+func (m *Instruments) noteGrow(newCap int) {
+	if m == nil {
+		return
+	}
+	m.Grows.Inc()
+	m.Capacity.Set(int64(newCap))
+	m.Tracer.Record(obs.EvGrow, m.Name, "", int64(newCap))
+}
+
+// noteBlock records a goroutine blocking on the pipe and returns the
+// wall-clock start used to measure the stall. The zero time means "not
+// instrumented" and makes noteUnblock a no-op.
+func (m *Instruments) noteBlock(write bool) time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	if write {
+		m.WriteBlocks.Inc()
+		m.Tracer.Record(obs.EvBlock, m.Name, "write", 0)
+	} else {
+		m.ReadBlocks.Inc()
+		m.Tracer.Record(obs.EvBlock, m.Name, "read", 0)
+	}
+	return time.Now()
+}
+
+// noteUnblock records the blocked operation resuming after the stall
+// that began at t0.
+func (m *Instruments) noteUnblock(write bool, t0 time.Time) {
+	if m == nil || t0.IsZero() {
+		return
+	}
+	d := time.Since(t0)
+	if write {
+		m.WriteBlockSeconds.Observe(d.Seconds())
+		m.Tracer.Record(obs.EvUnblock, m.Name, "write", d.Nanoseconds())
+	} else {
+		m.ReadBlockSeconds.Observe(d.Seconds())
+		m.Tracer.Record(obs.EvUnblock, m.Name, "read", d.Nanoseconds())
+	}
+}

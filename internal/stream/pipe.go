@@ -74,6 +74,7 @@ type Pipe struct {
 	blockedWriters int
 
 	observer Observer
+	ins      *Instruments
 }
 
 // NewPipe returns a pipe with the given buffer capacity. Non-positive
@@ -108,6 +109,24 @@ func (p *Pipe) SetObserver(o Observer) {
 	p.mu.Lock()
 	p.observer = o
 	p.mu.Unlock()
+}
+
+// SetInstruments installs the metrics hooks. Like SetObserver it must
+// be called before the pipe is shared between goroutines.
+func (p *Pipe) SetInstruments(ins *Instruments) {
+	p.mu.Lock()
+	p.ins = ins
+	p.mu.Unlock()
+	if ins != nil {
+		ins.Capacity.Set(int64(p.Cap()))
+	}
+}
+
+// Instruments returns the installed metrics hooks, or nil.
+func (p *Pipe) Instruments() *Instruments {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ins
 }
 
 // Cap reports the current buffer capacity.
@@ -187,6 +206,7 @@ func (p *Pipe) Grow(newCap int) int {
 	p.buf = nb
 	p.r = 0
 	p.canWrit.Broadcast()
+	p.ins.noteGrow(newCap)
 	if p.observer != nil {
 		p.observer.PipeEvent(p)
 	}
@@ -224,6 +244,7 @@ func (p *Pipe) Drain() []byte {
 	p.copyOut(out)
 	p.n = 0
 	p.r = 0
+	p.ins.noteRead(len(out), 0)
 	p.canWrit.Broadcast()
 	if p.observer != nil {
 		p.observer.PipeEvent(p)
@@ -248,11 +269,13 @@ func (p *Pipe) Write(b []byte) (int, error) {
 		}
 		for p.n == len(p.buf) {
 			p.blockedWriters++
+			t0 := p.ins.noteBlock(true)
 			if p.observer != nil {
 				p.observer.PipeBlocked(p, true)
 			}
 			p.canWrit.Wait()
 			p.blockedWriters--
+			p.ins.noteUnblock(true, t0)
 			if p.observer != nil {
 				p.observer.PipeUnblocked(p, true)
 			}
@@ -277,6 +300,7 @@ func (p *Pipe) Write(b []byte) (int, error) {
 		p.n += len(chunk)
 		b = b[len(chunk):]
 		written += len(chunk)
+		p.ins.noteWrite(len(chunk), p.n)
 		p.canRead.Broadcast()
 		if p.observer != nil {
 			p.observer.PipeEvent(p)
@@ -303,11 +327,13 @@ func (p *Pipe) Read(b []byte) (int, error) {
 			return 0, ErrReadClosed
 		}
 		p.blockedReaders++
+		t0 := p.ins.noteBlock(false)
 		if p.observer != nil {
 			p.observer.PipeBlocked(p, false)
 		}
 		p.canRead.Wait()
 		p.blockedReaders--
+		p.ins.noteUnblock(false, t0)
 		if p.observer != nil {
 			p.observer.PipeUnblocked(p, false)
 		}
@@ -325,6 +351,7 @@ func (p *Pipe) Read(b []byte) (int, error) {
 	if p.n == 0 {
 		p.r = 0
 	}
+	p.ins.noteRead(n, p.n)
 	p.canWrit.Broadcast()
 	if p.observer != nil {
 		p.observer.PipeEvent(p)

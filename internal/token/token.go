@@ -36,11 +36,31 @@ const MaxBlockSize = 1 << 26 // 64 MiB
 // semantics at element granularity.
 type Reader struct {
 	r       io.Reader
+	noter   tokenNoter
 	scratch [8]byte
 }
 
+// tokenNoter is implemented by channel ports (core.ReadPort and
+// core.WritePort): each successfully transferred element bumps the
+// channel's token counter, giving the observability layer element
+// granularity on top of the byte counters.
+type tokenNoter interface{ NoteToken() }
+
 // NewReader returns a typed reader over r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+func NewReader(r io.Reader) *Reader {
+	d := &Reader{r: r}
+	d.noter, _ = r.(tokenNoter)
+	return d
+}
+
+// note records one decoded element. Only the leaf element readers call
+// it, so composites (ReadObject over ReadBlock, ReadInt64 over
+// ReadUint64) count each element exactly once.
+func (d *Reader) note() {
+	if d.noter != nil {
+		d.noter.NoteToken()
+	}
+}
 
 // ReadInt64 reads one big-endian int64 element.
 func (d *Reader) ReadInt64() (int64, error) {
@@ -53,6 +73,7 @@ func (d *Reader) ReadUint64() (uint64, error) {
 	if _, err := io.ReadFull(d.r, d.scratch[:8]); err != nil {
 		return 0, noUnexpected(err)
 	}
+	d.note()
 	return binary.BigEndian.Uint64(d.scratch[:8]), nil
 }
 
@@ -61,6 +82,7 @@ func (d *Reader) ReadInt32() (int32, error) {
 	if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
 		return 0, noUnexpected(err)
 	}
+	d.note()
 	return int32(binary.BigEndian.Uint32(d.scratch[:4])), nil
 }
 
@@ -75,6 +97,7 @@ func (d *Reader) ReadBool() (bool, error) {
 	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
 		return false, noUnexpected(err)
 	}
+	d.note()
 	return d.scratch[0] != 0, nil
 }
 
@@ -83,6 +106,7 @@ func (d *Reader) ReadByte() (byte, error) {
 	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
 		return 0, noUnexpected(err)
 	}
+	d.note()
 	return d.scratch[0], nil
 }
 
@@ -99,6 +123,7 @@ func (d *Reader) ReadBlock() ([]byte, error) {
 	if _, err := io.ReadFull(d.r, b); err != nil {
 		return nil, corrupt(err)
 	}
+	d.note()
 	return b, nil
 }
 
@@ -135,11 +160,25 @@ func corrupt(err error) error {
 // Writer encodes typed elements onto a byte stream.
 type Writer struct {
 	w       io.Writer
+	noter   tokenNoter
 	scratch [8]byte
 }
 
 // NewWriter returns a typed writer over w.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+func NewWriter(w io.Writer) *Writer {
+	e := &Writer{w: w}
+	e.noter, _ = w.(tokenNoter)
+	return e
+}
+
+// note records one encoded element (leaf writers only; see
+// Reader.note).
+func (e *Writer) note(err error) error {
+	if err == nil && e.noter != nil {
+		e.noter.NoteToken()
+	}
+	return err
+}
 
 // WriteInt64 writes one big-endian int64 element.
 func (e *Writer) WriteInt64(v int64) error { return e.WriteUint64(uint64(v)) }
@@ -148,14 +187,14 @@ func (e *Writer) WriteInt64(v int64) error { return e.WriteUint64(uint64(v)) }
 func (e *Writer) WriteUint64(v uint64) error {
 	binary.BigEndian.PutUint64(e.scratch[:8], v)
 	_, err := e.w.Write(e.scratch[:8])
-	return err
+	return e.note(err)
 }
 
 // WriteInt32 writes one big-endian int32 element.
 func (e *Writer) WriteInt32(v int32) error {
 	binary.BigEndian.PutUint32(e.scratch[:4], uint32(v))
 	_, err := e.w.Write(e.scratch[:4])
-	return err
+	return e.note(err)
 }
 
 // WriteFloat64 writes one IEEE-754 float64 element.
@@ -170,14 +209,14 @@ func (e *Writer) WriteBool(v bool) error {
 		e.scratch[0] = 1
 	}
 	_, err := e.w.Write(e.scratch[:1])
-	return err
+	return e.note(err)
 }
 
 // WriteByte writes one raw byte element.
 func (e *Writer) WriteByte(b byte) error {
 	e.scratch[0] = b
 	_, err := e.w.Write(e.scratch[:1])
-	return err
+	return e.note(err)
 }
 
 // WriteBlock writes one length-prefixed byte block.
@@ -190,7 +229,7 @@ func (e *Writer) WriteBlock(b []byte) error {
 		return err
 	}
 	_, err := e.w.Write(b)
-	return err
+	return e.note(err)
 }
 
 // WriteObject writes v as one self-contained gob message (see the
@@ -210,7 +249,7 @@ func (e *Writer) WriteString(s string) error {
 		return err
 	}
 	_, err := io.WriteString(e.w, s)
-	return err
+	return e.note(err)
 }
 
 // Int64Size is the encoded size of an int64 element in bytes. Processes

@@ -31,6 +31,7 @@ import (
 	"dpn/internal/core"
 	"dpn/internal/deadlock"
 	"dpn/internal/netio"
+	"dpn/internal/obs"
 )
 
 func init() {
@@ -64,9 +65,41 @@ type Node struct {
 	links map[*core.Channel]*netio.Handle
 }
 
-// NewNode creates a node from an existing network and broker.
+// NewNode creates a node from an existing network and broker. The
+// broker is re-homed into the network's observability scope so the
+// whole node — channels, processes, links, migrations — shares one
+// registry and tracer, and the scope's node label is set to the
+// broker's listen address (the node's identity towards its peers).
 func NewNode(net *core.Network, broker *netio.Broker) *Node {
+	scope := net.Obs()
+	scope.SetNode(broker.Addr())
+	broker.SetObs(scope)
+	reg := scope.Registry()
+	reg.Help("dpn_wire_parcels_total", "Graph parcels processed by this node, by op (export|import).")
+	reg.Help("dpn_wire_migrations_total", "Running processes migrated off this node (§6.1).")
 	return &Node{Net: net, Broker: broker, links: make(map[*core.Channel]*netio.Handle)}
+}
+
+// Obs returns the node's unified observability scope.
+func (n *Node) Obs() *obs.Scope { return n.Net.Obs() }
+
+// WriteMetrics writes the node's metrics in Prometheus text format.
+func (n *Node) WriteMetrics(w io.Writer) error { return n.Obs().WriteProm(w) }
+
+// MetricsText renders the node's metrics as Prometheus text. It is the
+// method the deadlock coordinator's metric scrape looks for on a peer.
+func (n *Node) MetricsText() (string, error) { return n.Obs().MetricsText(), nil }
+
+// noteWire counts one serialization operation and traces its phase.
+func (n *Node) noteWire(op, subject string, arg int64) {
+	s := n.Obs()
+	switch op {
+	case "migrate":
+		s.Registry().Counter("dpn_wire_migrations_total").Inc()
+	default:
+		s.Registry().Counter("dpn_wire_parcels_total", obs.L("op", op)).Inc()
+	}
+	s.Record(obs.EvMigrate, subject, op, arg)
 }
 
 // NewLocalNode creates a node with a fresh network and a broker on
@@ -222,6 +255,7 @@ func Export(n *Node, destAddr string, procs ...any) (*Parcel, error) {
 		return nil, fmt.Errorf("wire: encoding processes: %w", err)
 	}
 	parcel.Blob = buf.Bytes()
+	n.noteWire("export", destAddr, int64(len(parcel.Blob)))
 	return parcel, nil
 }
 
@@ -376,6 +410,7 @@ func Import(n *Node, parcel *Parcel) ([]any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: decoding processes: %w", err)
 	}
+	n.noteWire("import", n.Broker.Addr(), int64(len(parcel.Blob)))
 	return procs, nil
 }
 
@@ -413,7 +448,11 @@ func Migrate(n *Node, destAddr string, proc *core.Proc) (*Parcel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Export(n, destAddr, body)
+	parcel, err := Export(n, destAddr, body)
+	if err == nil {
+		n.noteWire("migrate", proc.Name(), 0)
+	}
+	return parcel, err
 }
 
 // DeadlockStatus implements deadlock.Peer: a snapshot of this node's

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build everything, then run the whole test
+# suite under the race detector. The observability layer is updated
+# from every process goroutine, so -race is not optional here.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
