@@ -1,4 +1,4 @@
-.PHONY: build test check vet
+.PHONY: build test check chaos vet
 
 build:
 	go build ./...
@@ -10,5 +10,11 @@ vet:
 	go vet ./...
 
 # The race-enabled gate used before merging; see scripts/check.sh.
+# It ends with the chaos gate, so `make check` covers both.
 check:
 	./scripts/check.sh
+
+# Chaos gate alone: repeated seeded fault-injection runs with a
+# seed-replay flaky classifier; see scripts/check.sh -chaos.
+chaos:
+	./scripts/check.sh -chaos

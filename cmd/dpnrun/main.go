@@ -25,8 +25,10 @@ import (
 	"dpn/internal/core"
 	"dpn/internal/deadlock"
 	"dpn/internal/factor"
+	"dpn/internal/faults"
 	"dpn/internal/graphs"
 	"dpn/internal/meta"
+	"dpn/internal/netio"
 	"dpn/internal/obs"
 	"dpn/internal/server"
 	"dpn/internal/viz"
@@ -37,6 +39,41 @@ import (
 var obsCfg struct {
 	metrics string
 	stats   bool
+}
+
+// chaosCfg carries the fault-injection flags to the branches that
+// create a network broker.
+var chaosCfg struct {
+	faults    string
+	resilient bool
+}
+
+// applyChaos wires the -faults / -resilient flags into a broker.
+// Resilience changes the wire protocol, so every node of a distributed
+// graph must run with the same -resilient setting.
+func applyChaos(b *netio.Broker) {
+	if chaosCfg.faults != "" {
+		cfg, err := faults.Parse(chaosCfg.faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpnrun: -faults:", err)
+			os.Exit(2)
+		}
+		inj := faults.New(cfg)
+		b.SetFaults(inj)
+		fmt.Fprintf(os.Stderr, "fault injection enabled (chaos seed %d)\n", inj.Seed())
+	}
+	if chaosCfg.resilient {
+		b.SetResilience(netio.DefaultResilience())
+	}
+}
+
+// warnChaosUnused flags -faults/-resilient on runs that never create a
+// network broker: faults are injected at the connection boundary, so a
+// fully in-process graph has nowhere to apply them.
+func warnChaosUnused() {
+	if chaosCfg.faults != "" || chaosCfg.resilient {
+		fmt.Fprintln(os.Stderr, "dpnrun: -faults/-resilient ignored: this run has no network links")
+	}
 }
 
 // instrument applies the -metrics / -stats flags to the network about
@@ -82,9 +119,15 @@ func main() {
 		dot      = flag.Bool("dot", false, "for -graph factor: print the program graph in Graphviz DOT format and exit")
 		metrics  = flag.String("metrics", "", "observability HTTP listen address (serves /metrics and /trace while the graph runs)")
 		stats    = flag.Bool("stats", false, "print a per-channel/per-process summary table after the run")
+		faultsF  = flag.String("faults", "", "inject network faults on this node's broker, e.g. seed=7,drop=0.01,latency=2ms,partition=1s:500ms,mode=stall")
+		resil    = flag.Bool("resilient", false, "resilient links: retry/backoff, heartbeats, resumable reconnect (set on every node or none)")
 	)
 	flag.Parse()
 	obsCfg.metrics, obsCfg.stats = *metrics, *stats
+	chaosCfg.faults, chaosCfg.resilient = *faultsF, *resil
+	if *graph != "factor" {
+		warnChaosUnused()
+	}
 
 	switch *graph {
 	case "fib":
@@ -186,6 +229,9 @@ func runFactor(bits, workers int, static bool, serverList, registryAddr string, 
 			os.Exit(1)
 		}
 		defer node.Close()
+		applyChaos(node.Broker)
+	} else {
+		warnChaosUnused()
 	}
 	net := core.NewNetwork()
 	if node != nil {

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"dpn/internal/deadlock"
+	"dpn/internal/faults"
+	"dpn/internal/netio"
 	"dpn/internal/obs"
 	"dpn/internal/server"
 	"dpn/internal/viz"
@@ -41,6 +43,8 @@ func main() {
 		registry   = flag.String("registry", "", "optional registry address to announce to")
 		metrics    = flag.String("metrics", "", "optional observability HTTP listen address (serves /metrics and /trace)")
 		statsEvery = flag.Duration("statsevery", 30*time.Second, "interval between stats log lines when -metrics is enabled")
+		faultsF    = flag.String("faults", "", "inject network faults on this server's broker, e.g. seed=7,drop=0.01,latency=2ms,partition=1s:500ms,mode=stall")
+		resil      = flag.Bool("resilient", false, "resilient links: retry/backoff, heartbeats, resumable reconnect (set on every node or none)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,22 @@ func main() {
 	}
 	defer s.Close()
 	fmt.Printf("dpnserver %q rpc=%s broker=%s\n", s.Name(), s.Addr(), s.BrokerAddr())
+
+	if *faultsF != "" {
+		cfg, err := faults.Parse(*faultsF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpnserver: -faults:", err)
+			os.Exit(2)
+		}
+		inj := faults.New(cfg)
+		s.Node().Broker.SetFaults(inj)
+		fmt.Printf("fault injection enabled (chaos seed %d)\n", inj.Seed())
+	}
+	// Resilience changes the wire protocol, so every node of a
+	// distributed graph must run with the same -resilient setting.
+	if *resil {
+		s.Node().Broker.SetResilience(netio.DefaultResilience())
+	}
 
 	if *metrics != "" {
 		scope := s.Node().Obs()

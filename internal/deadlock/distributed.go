@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,6 +81,12 @@ type Coordinator struct {
 	GrowthFactor int
 	// MaxCapacity bounds growth; 0 means unbounded.
 	MaxCapacity int
+	// PeerFailureLimit is how many consecutive failed polls of one peer
+	// the coordinator tolerates before reporting StatusPeerLost
+	// (default 5). Resilient links make transient unreachability
+	// routine, so a single failed poll must not raise an alarm; a long
+	// streak means the peer is gone and global detection is blind.
+	PeerFailureLimit int
 	// OnEvent, if set, observes resolutions and true-deadlock reports.
 	OnEvent func(Event)
 	// Obs, if set, receives the coordinator's own round counters and
@@ -91,17 +98,25 @@ type Coordinator struct {
 	done chan struct{}
 
 	resolutions atomic.Int64
+
+	// Per-peer consecutive poll-failure streaks, indexed like Peers.
+	// peerLost marks streaks already reported, so a dead peer produces
+	// one event per outage instead of one per poll.
+	pmu       sync.Mutex
+	peerFails []int
+	peerLost  []bool
 }
 
 // NewCoordinator builds a coordinator over the given peers.
 func NewCoordinator(peers ...Peer) *Coordinator {
 	return &Coordinator{
-		Peers:        peers,
-		Settle:       2 * time.Millisecond,
-		Poll:         5 * time.Millisecond,
-		GrowthFactor: 2,
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
+		Peers:            peers,
+		Settle:           2 * time.Millisecond,
+		Poll:             5 * time.Millisecond,
+		GrowthFactor:     2,
+		PeerFailureLimit: 5,
+		stop:             make(chan struct{}),
+		done:             make(chan struct{}),
 	}
 }
 
@@ -146,15 +161,57 @@ type peerSnapshot struct {
 	err    error
 }
 
+// snapshot polls every peer. Unlike a fail-fast poll, it asks all
+// peers even after one errors, so one unreachable node cannot hide the
+// health of the rest; the first error is returned alongside the
+// partial results.
 func (c *Coordinator) snapshot() ([]peerSnapshot, error) {
 	out := make([]peerSnapshot, len(c.Peers))
+	var firstErr error
 	for i, p := range c.Peers {
 		out[i].status, out[i].err = p.DeadlockStatus()
-		if out[i].err != nil {
-			return nil, fmt.Errorf("deadlock: peer %d: %w", i, out[i].err)
+		if out[i].err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("deadlock: peer %d: %w", i, out[i].err)
 		}
 	}
-	return out, nil
+	return out, firstErr
+}
+
+// notePeerHealth updates the per-peer failure streaks from one poll.
+// It returns true when some peer's streak has reached
+// PeerFailureLimit; the StatusPeerLost event fires once per streak, on
+// the poll that crosses the limit.
+func (c *Coordinator) notePeerHealth(snaps []peerSnapshot) bool {
+	limit := c.PeerFailureLimit
+	if limit <= 0 {
+		limit = 5
+	}
+	c.pmu.Lock()
+	for len(c.peerFails) < len(snaps) {
+		c.peerFails = append(c.peerFails, 0)
+		c.peerLost = append(c.peerLost, false)
+	}
+	anyLost := false
+	var report []int
+	for i, s := range snaps {
+		if s.err == nil {
+			c.peerFails[i], c.peerLost[i] = 0, false
+			continue
+		}
+		c.peerFails[i]++
+		if c.peerFails[i] >= limit {
+			anyLost = true
+			if !c.peerLost[i] {
+				c.peerLost[i] = true
+				report = append(report, i)
+			}
+		}
+	}
+	c.pmu.Unlock()
+	for _, i := range report {
+		c.note(Event{Status: StatusPeerLost, Channel: fmt.Sprintf("peer[%d]", i), Time: time.Now()})
+	}
+	return anyLost
 }
 
 // note emits a coordinator-level event into the observability scope.
@@ -201,7 +258,14 @@ func (c *Coordinator) GatherMetrics() (string, error) {
 func (c *Coordinator) Check() (Status, error) {
 	c.Obs.Counter("dpn_deadlock_coord_rounds_total").Inc()
 	s1, err := c.snapshot()
-	if err != nil {
+	if lost := c.notePeerHealth(s1); err != nil {
+		// A peer is unreachable, so the global quiescence test cannot
+		// run this round — growing a channel on partial information
+		// could mask a true deadlock. Detection resumes when the peer
+		// answers again (its link may be healing under the covers).
+		if lost {
+			return StatusPeerLost, err
+		}
 		return StatusRunning, err
 	}
 	var live, blocked int64
@@ -218,7 +282,10 @@ func (c *Coordinator) Check() (Status, error) {
 	// Quiescence test: nothing may move during the settle window.
 	time.Sleep(c.Settle)
 	s2, err := c.snapshot()
-	if err != nil {
+	if lost := c.notePeerHealth(s2); err != nil {
+		if lost {
+			return StatusPeerLost, err
+		}
 		return StatusRunning, err
 	}
 	for i := range s1 {

@@ -41,6 +41,12 @@ func (p *fakePeer) set(st NodeStatus) {
 	p.mu.Unlock()
 }
 
+func (p *fakePeer) setErr(err error) {
+	p.mu.Lock()
+	p.err = err
+	p.mu.Unlock()
+}
+
 func quietCoordinator(peers ...Peer) *Coordinator {
 	c := NewCoordinator(peers...)
 	c.Settle = 100 * time.Microsecond
@@ -155,6 +161,85 @@ func TestCoordinatorPeerErrorSurfaces(t *testing.T) {
 	p := &fakePeer{err: errors.New("peer down")}
 	if _, err := quietCoordinator(p).Check(); err == nil {
 		t.Fatal("peer error swallowed")
+	}
+}
+
+func TestCoordinatorPeerLostAfterStreak(t *testing.T) {
+	ok := &fakePeer{status: NodeStatus{Live: 1, Blocked: 0}}
+	down := &fakePeer{err: errors.New("peer down")}
+	c := quietCoordinator(ok, down)
+	c.PeerFailureLimit = 3
+	var events []Event
+	c.OnEvent = func(ev Event) { events = append(events, ev) }
+
+	// Below the limit: the error surfaces but the status stays Running.
+	for i := 0; i < 2; i++ {
+		st, err := c.Check()
+		if err == nil || st != StatusRunning {
+			t.Fatalf("round %d: got %v, %v", i, st, err)
+		}
+	}
+	// The third consecutive failure crosses the limit.
+	if st, err := c.Check(); err == nil || st != StatusPeerLost {
+		t.Fatalf("got %v, %v", st, err)
+	}
+	// Further rounds keep reporting the status but not the event: one
+	// event per outage, not one per poll.
+	c.Check()
+	c.Check()
+	lost := 0
+	for _, ev := range events {
+		if ev.Status == StatusPeerLost {
+			lost++
+		}
+	}
+	if lost != 1 {
+		t.Fatalf("want exactly one peer-lost event per streak, got %d", lost)
+	}
+
+	// Recovery resets the streak and detection resumes normally.
+	down.setErr(nil)
+	down.set(NodeStatus{Live: 1, Blocked: 0})
+	if st, err := c.Check(); err != nil || st != StatusRunning {
+		t.Fatalf("after heal: got %v, %v", st, err)
+	}
+	// A fresh outage is a fresh streak: it reports once more.
+	down.setErr(errors.New("peer down again"))
+	for i := 0; i < 3; i++ {
+		c.Check()
+	}
+	lost = 0
+	for _, ev := range events {
+		if ev.Status == StatusPeerLost {
+			lost++
+		}
+	}
+	if lost != 2 {
+		t.Fatalf("want a second peer-lost event after re-outage, got %d", lost)
+	}
+}
+
+func TestCoordinatorSkipsQuiescenceWhilePeerUnreachable(t *testing.T) {
+	// The reachable peer looks deadlocked (blocked with a full channel),
+	// but the coordinator must not grow anything while the other peer
+	// cannot be polled — partial information could mask a true deadlock.
+	blocked := &fakePeer{status: NodeStatus{Live: 1, Blocked: 1,
+		FullChannels: []ChannelRef{{Name: "x", Cap: 4}}}}
+	down := &fakePeer{err: errors.New("peer down")}
+	c := quietCoordinator(blocked, down)
+	for i := 0; i < 4; i++ {
+		st, _ := c.Check()
+		if st == StatusResolved || st == StatusTrueDeadlock {
+			t.Fatalf("round %d: decided %v with a peer unreachable", i, st)
+		}
+	}
+	if len(blocked.grown) != 0 {
+		t.Fatalf("grew %v while a peer was unreachable", blocked.grown)
+	}
+	// Once the peer answers, the artificial deadlock resolves.
+	down.setErr(nil)
+	if st, err := c.Check(); err != nil || st != StatusResolved {
+		t.Fatalf("after heal: got %v, %v", st, err)
 	}
 }
 

@@ -36,6 +36,11 @@ const (
 	StatusTrueDeadlock
 	// StatusTerminated means no live processes remain.
 	StatusTerminated
+	// StatusPeerLost means the distributed coordinator has failed to
+	// reach a peer for PeerFailureLimit consecutive polls: the global
+	// quiescence test cannot run, so detection is suspended until the
+	// peer answers again (link-level resilience may still heal it).
+	StatusPeerLost
 )
 
 func (s Status) String() string {
@@ -48,6 +53,8 @@ func (s Status) String() string {
 		return "true-deadlock"
 	case StatusTerminated:
 		return "terminated"
+	case StatusPeerLost:
+		return "peer-lost"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

@@ -1,0 +1,348 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns two fault-wrapped ends of an in-memory connection.
+func pipePair(inj *Injector) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return inj.Conn(a), inj.Conn(b)
+}
+
+func TestNilInjectorIsTransparent(t *testing.T) {
+	var inj *Injector
+	a, b := net.Pipe()
+	if inj.Conn(a) != a {
+		t.Fatalf("nil injector must return the conn unchanged")
+	}
+	if err := inj.DialError(); err != nil {
+		t.Fatalf("nil injector DialError = %v", err)
+	}
+	if inj.Partitioned() {
+		t.Fatalf("nil injector reports partitioned")
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestZeroConfigPassesBytesThrough(t *testing.T) {
+	inj := New(Config{})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("hello, network")
+	go func() {
+		a.Write(msg)
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestDropKillsConnectionDeterministically(t *testing.T) {
+	// With Drop=1 the very first operation must fail, every time.
+	inj := New(Config{Seed: 7, Drop: 1})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	// The connection stays broken for later operations too.
+	if _, err := a.Write([]byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write error = %v, want ErrInjected", err)
+	}
+	var ne net.Error
+	_, err := a.Write([]byte("z"))
+	if !errors.As(err, &ne) {
+		t.Fatalf("injected error must implement net.Error, got %T", err)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	// Two injectors with the same seed must make identical drop
+	// decisions over a sequence of operations.
+	trial := func(seed int64) []bool {
+		inj := New(Config{Seed: seed, Drop: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.draw() < inj.cfg.Drop
+		}
+		return out
+	}
+	a, b := trial(42), trial(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs for identical seeds", i)
+		}
+	}
+}
+
+func TestShortWriteDeliversPrefixThenBreaks(t *testing.T) {
+	inj := New(Config{Seed: 3, ShortWrite: 1})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	var (
+		wg  sync.WaitGroup
+		got []byte
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, _ = io.ReadAll(b)
+	}()
+	msg := []byte("a longer payload that should be torn")
+	n, err := a.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("short write wrote %d of %d bytes", n, len(msg))
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("peer received %d bytes, writer reported %d", len(got), n)
+	}
+}
+
+func TestManualPartitionResetsAndHeals(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	inj.PartitionNow(0) // forever
+	if !inj.Partitioned() {
+		t.Fatalf("expected partitioned")
+	}
+	if err := inj.DialError(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial during partition = %v, want ErrInjected", err)
+	}
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write during reset partition = %v, want ErrInjected", err)
+	}
+	inj.Heal()
+	if inj.Partitioned() {
+		t.Fatalf("expected healed")
+	}
+	if err := inj.DialError(); err != nil {
+		t.Fatalf("dial after heal = %v", err)
+	}
+}
+
+func TestStallPartitionBlocksUntilHeal(t *testing.T) {
+	inj := New(Config{Seed: 1, Stall: true})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	inj.PartitionNow(40 * time.Millisecond)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		buf := make([]byte, 4)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	go func() {
+		// The writer stalls through the partition too, then delivers.
+		a.Write([]byte("ping"))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read after heal: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+			t.Fatalf("read returned after %v, before the partition healed", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("stalled read never resumed after heal")
+	}
+}
+
+func TestStallPartitionHonorsDeadline(t *testing.T) {
+	inj := New(Config{Seed: 1, Stall: true})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	inj.PartitionNow(0) // forever
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 4)
+	_, err := b.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read error = %v, want deadline exceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error must be a net.Error timeout, got %v", err)
+	}
+}
+
+func TestStallPartitionUnblocksOnClose(t *testing.T) {
+	inj := New(Config{Seed: 1, Stall: true})
+	a, b := pipePair(inj)
+	defer a.Close()
+
+	inj.PartitionNow(0)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("read on closed stalled conn returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("close did not unblock stalled read")
+	}
+}
+
+func TestScheduledPartitionWindow(t *testing.T) {
+	inj := New(Config{Seed: 1, PartitionAt: 20 * time.Millisecond, PartitionFor: 30 * time.Millisecond})
+	if inj.Partitioned() {
+		t.Fatalf("partitioned before PartitionAt")
+	}
+	if !inj.partitionedAt(inj.start.Add(30 * time.Millisecond)) {
+		t.Fatalf("not partitioned inside the window")
+	}
+	if inj.partitionedAt(inj.start.Add(60 * time.Millisecond)) {
+		t.Fatalf("still partitioned after the window")
+	}
+}
+
+func TestScheduledPartitionRepeats(t *testing.T) {
+	inj := New(Config{
+		Seed:           1,
+		PartitionAt:    10 * time.Millisecond,
+		PartitionFor:   5 * time.Millisecond,
+		PartitionEvery: 50 * time.Millisecond,
+	})
+	at := func(d time.Duration) bool { return inj.partitionedAt(inj.start.Add(d)) }
+	if at(5 * time.Millisecond) {
+		t.Fatalf("partitioned before first window")
+	}
+	if !at(12 * time.Millisecond) {
+		t.Fatalf("not partitioned in first window")
+	}
+	if at(30 * time.Millisecond) {
+		t.Fatalf("partitioned between windows")
+	}
+	if !at(62 * time.Millisecond) {
+		t.Fatalf("not partitioned in repeated window")
+	}
+}
+
+func TestLatencyDelaysOperations(t *testing.T) {
+	inj := New(Config{Seed: 1, Latency: 20 * time.Millisecond})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		buf := make([]byte, 4)
+		b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := a.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("write completed in %v, latency not applied", elapsed)
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	inj := New(Config{Seed: 1, Drop: 1})
+	wrapped := inj.Listener(ln)
+	defer wrapped.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := wrapped.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Write([]byte("x"))
+		done <- err
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("accepted conn write error = %v, want ErrInjected", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := Parse("seed=9,latency=2ms,jitter=500us,drop=0.01,short=0.02,partition=1s:500ms,every=10s,mode=stall")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Config{
+		Seed:           9,
+		Latency:        2 * time.Millisecond,
+		Jitter:         500 * time.Microsecond,
+		Drop:           0.01,
+		ShortWrite:     0.02,
+		PartitionAt:    time.Second,
+		PartitionFor:   500 * time.Millisecond,
+		PartitionEvery: 10 * time.Second,
+		Stall:          true,
+	}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if _, err := Parse("drop=high"); err == nil {
+		t.Fatalf("expected error for bad drop value")
+	}
+	if _, err := Parse("unknown=1"); err == nil {
+		t.Fatalf("expected error for unknown key")
+	}
+	if _, err := Parse(""); err != nil {
+		t.Fatalf("empty spec must parse to zero config, got %v", err)
+	}
+	if cfg, _ := Parse("partition=1s"); cfg.PartitionAt != time.Second || cfg.PartitionFor != 0 {
+		t.Fatalf("partition without duration parsed as %+v", cfg)
+	}
+}
+
+func TestInjectedCounter(t *testing.T) {
+	inj := New(Config{Seed: 1, Drop: 1})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+	a.Write([]byte("x"))
+	if inj.Injected() == 0 {
+		t.Fatalf("Injected() = 0 after a forced drop")
+	}
+}

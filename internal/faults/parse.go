@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Config from a comma-separated key=value spec, the
+// format both CLIs accept via -faults:
+//
+//	seed=1,latency=2ms,jitter=500us,drop=0.01,short=0.02,partition=1s:500ms,every=10s,mode=stall
+//
+// Keys: seed (int64), latency/jitter (durations), drop/short
+// (probabilities in [0,1]), partition=<at>[:<for>] (omitting <for>
+// partitions forever), every (repeat interval), mode (stall|reset;
+// reset is the default). An empty spec is the zero Config.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: bad entry %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "jitter":
+			cfg.Jitter, err = time.ParseDuration(val)
+		case "drop":
+			cfg.Drop, err = parseProb(val)
+		case "short":
+			cfg.ShortWrite, err = parseProb(val)
+		case "partition":
+			at, dur, hasDur := strings.Cut(val, ":")
+			cfg.PartitionAt, err = time.ParseDuration(at)
+			if err == nil && hasDur {
+				cfg.PartitionFor, err = time.ParseDuration(dur)
+			}
+		case "every":
+			cfg.PartitionEvery, err = time.ParseDuration(val)
+		case "mode":
+			switch val {
+			case "stall":
+				cfg.Stall = true
+			case "reset":
+				cfg.Stall = false
+			default:
+				err = fmt.Errorf("unknown mode %q (want stall or reset)", val)
+			}
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: %s: %w", key, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}

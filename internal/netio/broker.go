@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpn/internal/faults"
 	"dpn/internal/obs"
 )
 
@@ -31,6 +32,12 @@ type Broker struct {
 	// ins is the active observability bundle; swapped whole by SetObs
 	// so the per-byte hot path is one atomic load.
 	ins atomic.Pointer[brokerInstruments]
+
+	// flt is the active fault injector (nil injector = no faults); res
+	// is the link resilience configuration (nil = legacy fail-fast
+	// links). Both are swapped whole and read per connection.
+	flt atomic.Pointer[faults.Injector]
+	res atomic.Pointer[Resilience]
 
 	acceptDone chan struct{}
 }
@@ -60,6 +67,35 @@ func NewBroker(listenAddr string) (*Broker, error) {
 	b.ins.Store(newBrokerInstruments(obs.NewScope()))
 	go b.acceptLoop()
 	return b, nil
+}
+
+// SetFaults installs a fault injector on every future connection of
+// this broker, inbound and outbound (nil removes injection). Existing
+// connections are unaffected.
+func (b *Broker) SetFaults(inj *faults.Injector) {
+	b.flt.Store(inj)
+}
+
+// injector returns the active fault injector; the zero value is a nil
+// *faults.Injector, whose methods are all no-ops.
+func (b *Broker) injector() *faults.Injector {
+	if inj := b.flt.Load(); inj != nil {
+		return inj
+	}
+	return nil
+}
+
+// SetResilience enables fault-tolerant links (retry/backoff,
+// heartbeats, resumable reconnect) for every link created after the
+// call. Resilience changes the wire protocol, so every broker of a
+// distributed graph must enable it — or none.
+func (b *Broker) SetResilience(r Resilience) {
+	b.res.Store(&r)
+}
+
+// resilience returns the active resilience config, nil when disabled.
+func (b *Broker) resilience() *Resilience {
+	return b.res.Load()
 }
 
 // SetPendingTTL adjusts how long an early connection (one whose token
@@ -97,6 +133,22 @@ func (b *Broker) BytesIn() int64 { return b.ins.Load().bytesIn.Value() }
 // (dpn_broker_bytes_total{dir="out"}).
 func (b *Broker) BytesOut() int64 { return b.ins.Load().bytesOut.Value() }
 
+// LinkRetries reports reconnect attempts that failed and backed off
+// (dpn_link_retries_total).
+func (b *Broker) LinkRetries() int64 { return b.ins.Load().linkRetries.Value() }
+
+// HeartbeatMisses reports bounded reads that timed out waiting for the
+// peer (dpn_link_heartbeat_miss_total).
+func (b *Broker) HeartbeatMisses() int64 { return b.ins.Load().heartbeatMiss.Value() }
+
+// PartitionHeals reports successful link reconnects after an outage
+// (dpn_link_partition_heal_total).
+func (b *Broker) PartitionHeals() int64 { return b.ins.Load().partitionHeal.Value() }
+
+// LinkFailures reports links that exhausted their outage deadline and
+// degraded into a cascading close (dpn_link_failures_total).
+func (b *Broker) LinkFailures() int64 { return b.ins.Load().linkFailures.Value() }
+
 // Close shuts the listener down and closes pending connections.
 func (b *Broker) Close() error {
 	b.mu.Lock()
@@ -123,7 +175,7 @@ func (b *Broker) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go b.handleConn(conn)
+		go b.handleConn(b.injector().Conn(conn))
 	}
 }
 
@@ -132,7 +184,7 @@ func (b *Broker) acceptLoop() {
 // registers (a dial can win the race against the registration that a
 // redirect triggers on a third node).
 func (b *Broker) handleConn(conn net.Conn) {
-	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout()))
 	f, err := readFrame(conn)
 	if err != nil || f.kind != frameHello {
 		conn.Close()
@@ -154,6 +206,12 @@ func (b *Broker) handleConn(conn net.Conn) {
 	}
 	now := time.Now()
 	b.expirePending(now)
+	// A reconnecting peer may retry the same token before the local end
+	// re-arms; the newest connection wins and the displaced one must be
+	// closed, or it would leak until process exit.
+	if old, ok := b.pending[f.token]; ok {
+		old.conn.Close()
+	}
 	b.pending[f.token] = pendingConn{conn: conn, peerAddr: f.addr, arrived: now}
 	b.mu.Unlock()
 }
@@ -181,19 +239,85 @@ func (b *Broker) expect(token string, h func(net.Conn, string)) error {
 	return nil
 }
 
+// cancelExpect withdraws an un-fired expect registration.
+func (b *Broker) cancelExpect(token string) {
+	b.mu.Lock()
+	delete(b.waiting, token)
+	b.mu.Unlock()
+}
+
+// expectWithin waits up to d for a connection presenting token,
+// withdrawing the registration on timeout. Used by the serving side of
+// a resilient link to re-arm its rendezvous during an outage.
+func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, error) {
+	type arrival struct {
+		conn net.Conn
+		peer string
+	}
+	ch := make(chan arrival, 1)
+	if err := b.expect(token, func(conn net.Conn, peer string) {
+		ch <- arrival{conn, peer}
+	}); err != nil {
+		return nil, "", err
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		return a.conn, a.peer, nil
+	case <-timer.C:
+		b.cancelExpect(token)
+		// The handler may have fired between timeout and cancel.
+		select {
+		case a := <-ch:
+			return a.conn, a.peer, nil
+		default:
+			return nil, "", errors.New("netio: rendezvous timed out")
+		}
+	}
+}
+
 // dial opens a connection to a peer broker and sends the HELLO frame.
+// The HELLO write is deadline-bounded so a black-holed peer cannot
+// block link setup indefinitely.
 func (b *Broker) dial(addr, token string) (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	inj := b.injector()
+	if err := inj.DialError(); err != nil {
+		return nil, err
+	}
+	raw, err := net.DialTimeout("tcp", addr, handshakeTimeout())
 	if err != nil {
 		return nil, err
 	}
+	conn := inj.Conn(raw)
+	helloTimeout := handshakeTimeout()
+	if res := b.resilience(); res != nil && res.MissDeadline > 0 {
+		helloTimeout = res.MissDeadline
+	}
+	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
 	if err := writeFrame(conn, frame{kind: frameHello, token: token, addr: b.addr}); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	conn.SetWriteDeadline(time.Time{})
 	b.noteFrame(frameHello, true, 0)
 	return conn, nil
 }
+
+// handshakeTimeoutNs bounds both sides of the HELLO exchange: the
+// accept path's read of the frame and the dial path's TCP connect and
+// write. Without it a silent or black-holed peer would pin a goroutine
+// (and its connection) forever. Atomic so tests can compress it while
+// brokers from earlier tests still hold live accept goroutines.
+var handshakeTimeoutNs atomic.Int64
+
+func init() { handshakeTimeoutNs.Store(int64(30 * time.Second)) }
+
+func handshakeTimeout() time.Duration {
+	return time.Duration(handshakeTimeoutNs.Load())
+}
+
+func setHandshakeTimeout(d time.Duration) { handshakeTimeoutNs.Store(int64(d)) }
 
 var tokenSeq atomic.Int64
 
@@ -202,35 +326,12 @@ func (b *Broker) NewToken() string {
 	return fmt.Sprintf("%s/%d", b.addr, tokenSeq.Add(1))
 }
 
-// countConn wraps a connection with the broker's byte counters,
-// counting only DATA payload flowing through links.
-type countConn struct {
-	net.Conn
-	b *Broker
-}
-
-func (c countConn) Read(p []byte) (int, error) {
-	n, err := c.Conn.Read(p)
-	c.b.ins.Load().bytesIn.Add(int64(n))
-	return n, err
-}
-
-func (c countConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	c.b.ins.Load().bytesOut.Add(int64(n))
-	return n, err
-}
-
 // halfCloseWrite closes the write side of a TCP connection if
 // supported, flushing buffered data to the peer, and otherwise fully
 // closes it.
 func halfCloseWrite(conn net.Conn) {
 	type writeCloser interface{ CloseWrite() error }
-	c := conn
-	if cc, ok := c.(countConn); ok {
-		c = cc.Conn
-	}
-	if wc, ok := c.(writeCloser); ok {
+	if wc, ok := conn.(writeCloser); ok {
 		wc.CloseWrite()
 		return
 	}

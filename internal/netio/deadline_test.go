@@ -1,0 +1,52 @@
+package netio
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// Regression tests for the dial/accept deadline audit: no handshake
+// path may block unboundedly on a silent peer.
+
+// A connection that never sends its HELLO frame must be dropped by the
+// accept path's handshake deadline instead of pinning a goroutine (and
+// the socket) forever.
+func TestAcceptDropsSilentConnection(t *testing.T) {
+	old := handshakeTimeout()
+	setHandshakeTimeout(200 * time.Millisecond)
+	defer setHandshakeTimeout(old)
+
+	b := newTestBroker(t)
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The broker must close the connection once the handshake deadline
+	// passes; a blocking read on our side then errors out.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("broker kept a silent connection open past the handshake deadline")
+	}
+}
+
+// A connection that sends garbage instead of HELLO must be dropped
+// immediately, not parked in the rendezvous table.
+func TestAcceptDropsBadHello(t *testing.T) {
+	b := newTestBroker(t)
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("broker kept a non-protocol connection open")
+	}
+}

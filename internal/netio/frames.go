@@ -33,6 +33,9 @@ const (
 	frameMoving    = 'M' // addr, token — reader end moving; reconnect there
 	frameFence     = 'F' // data pauses here; resumes at the reader's new host
 	frameAck       = 'A' // count — receiver consumed payload bytes (flow control)
+	frameBeat      = 'B' // idle heartbeat (both directions, resilient links only)
+	frameResume    = 'S' // off — receiver's delivered offset; opens every resilient conn
+	frameBye       = 'Y' // reader confirms EOF/REDIRECT receipt (resilient links only)
 )
 
 // maxFramePayload bounds frame payloads defensively.
@@ -46,6 +49,7 @@ type frame struct {
 	kind    byte
 	payload []byte // DATA; its length is the credit amount for ACK writes
 	ack     int    // ACK — bytes consumed by the receiver
+	off     uint64 // RESUME — receiver's delivered stream offset
 	token   string // HELLO, REDIRECT, MOVING
 	addr    string // HELLO (sender's broker), MOVING (new reader host)
 }
@@ -66,11 +70,15 @@ func writeFrame(w io.Writer, f frame) error {
 		}
 		_, err := w.Write(f.payload)
 		return err
-	case frameEOF, frameCloseRead, frameFence:
+	case frameEOF, frameCloseRead, frameFence, frameBeat, frameBye:
 		_, err := w.Write(hdr)
 		return err
 	case frameAck:
 		hdr = binary.BigEndian.AppendUint32(hdr, uint32(f.ack))
+		_, err := w.Write(hdr)
+		return err
+	case frameResume:
+		hdr = binary.BigEndian.AppendUint64(hdr, f.off)
 		_, err := w.Write(hdr)
 		return err
 	case frameRedirect:
@@ -108,13 +116,19 @@ func readFrame(r io.Reader) (frame, error) {
 		if _, err := io.ReadFull(r, f.payload); err != nil {
 			return frame{}, unexpected(err)
 		}
-	case frameEOF, frameCloseRead, frameFence:
+	case frameEOF, frameCloseRead, frameFence, frameBeat, frameBye:
 	case frameAck:
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			return frame{}, unexpected(err)
 		}
 		f.ack = int(binary.BigEndian.Uint32(lenBuf[:]))
+	case frameResume:
+		var offBuf [8]byte
+		if _, err := io.ReadFull(r, offBuf[:]); err != nil {
+			return frame{}, unexpected(err)
+		}
+		f.off = binary.BigEndian.Uint64(offBuf[:])
 	case frameRedirect:
 		tok, err := readString(r)
 		if err != nil {

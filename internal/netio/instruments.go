@@ -19,6 +19,9 @@ var frameKinds = []struct {
 	{frameMoving, "moving"},
 	{frameFence, "fence"},
 	{frameAck, "ack"},
+	{frameBeat, "beat"},
+	{frameResume, "resume"},
+	{frameBye, "bye"},
 }
 
 func frameKindName(kind byte) string {
@@ -34,13 +37,17 @@ func frameKindName(kind byte) string {
 // whole bundle is swapped atomically by SetObs, so the hot paths load
 // one pointer and never race with re-instrumentation.
 type brokerInstruments struct {
-	bytesIn      *obs.Counter
-	bytesOut     *obs.Counter
-	framesIn     map[byte]*obs.Counter
-	framesOut    map[byte]*obs.Counter
-	frameUnknown *obs.Counter
-	creditStalls *obs.Counter
-	tracer       *obs.Tracer
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	framesIn      map[byte]*obs.Counter
+	framesOut     map[byte]*obs.Counter
+	frameUnknown  *obs.Counter
+	creditStalls  *obs.Counter
+	linkRetries   *obs.Counter
+	heartbeatMiss *obs.Counter
+	partitionHeal *obs.Counter
+	linkFailures  *obs.Counter
+	tracer        *obs.Tracer
 }
 
 // newBrokerInstruments creates the broker metric family in the scope's
@@ -50,13 +57,21 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 	reg.Help("dpn_broker_bytes_total", "Channel-link bytes through the broker, by dir (in|out).")
 	reg.Help("dpn_broker_frames_total", "Protocol frames through the broker, by kind and dir (in|out).")
 	reg.Help("dpn_broker_credit_stalls_total", "Times an outbound link waited for flow-control credit.")
+	reg.Help("dpn_link_retries_total", "Link reconnect attempts that failed and backed off.")
+	reg.Help("dpn_link_heartbeat_miss_total", "Bounded link reads that timed out waiting for the peer.")
+	reg.Help("dpn_link_partition_heal_total", "Successful link reconnects after an outage.")
+	reg.Help("dpn_link_failures_total", "Links that exhausted their outage deadline and degraded.")
 	ins := &brokerInstruments{
-		bytesIn:      reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
-		bytesOut:     reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
-		framesIn:     make(map[byte]*obs.Counter, len(frameKinds)),
-		framesOut:    make(map[byte]*obs.Counter, len(frameKinds)),
-		creditStalls: reg.Counter("dpn_broker_credit_stalls_total"),
-		tracer:       s.Tracer(),
+		bytesIn:       reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
+		bytesOut:      reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
+		framesIn:      make(map[byte]*obs.Counter, len(frameKinds)),
+		framesOut:     make(map[byte]*obs.Counter, len(frameKinds)),
+		creditStalls:  reg.Counter("dpn_broker_credit_stalls_total"),
+		linkRetries:   reg.Counter("dpn_link_retries_total"),
+		heartbeatMiss: reg.Counter("dpn_link_heartbeat_miss_total"),
+		partitionHeal: reg.Counter("dpn_link_partition_heal_total"),
+		linkFailures:  reg.Counter("dpn_link_failures_total"),
+		tracer:        s.Tracer(),
 	}
 	for _, fk := range frameKinds {
 		ins.framesIn[fk.kind] = reg.Counter("dpn_broker_frames_total",
@@ -80,7 +95,10 @@ func (b *Broker) SetObs(s *obs.Scope) {
 }
 
 // noteFrame counts one protocol frame and traces it; dir is from this
-// node's perspective.
+// node's perspective. DATA payload feeds the byte counters, so
+// BytesIn/BytesOut report channel payload only — heartbeats and other
+// control traffic never move them, which keeps the distributed
+// deadlock detector's quiescence test meaningful on an idle graph.
 func (b *Broker) noteFrame(kind byte, out bool, payload int) {
 	ins := b.ins.Load()
 	m := ins.framesIn
@@ -94,7 +112,31 @@ func (b *Broker) noteFrame(kind byte, out bool, payload int) {
 		c = ins.frameUnknown
 	}
 	c.Inc()
+	if kind == frameData && payload > 0 {
+		if out {
+			ins.bytesOut.Add(int64(payload))
+		} else {
+			ins.bytesIn.Add(int64(payload))
+		}
+	}
 	ins.tracer.Record(obs.EvFrame, frameKindName(kind), dir, int64(payload))
+}
+
+// noteLink counts one link lifecycle event ("retry", "miss", "heal",
+// or "fail") and traces it.
+func (b *Broker) noteLink(event string) {
+	ins := b.ins.Load()
+	switch event {
+	case "retry":
+		ins.linkRetries.Inc()
+	case "miss":
+		ins.heartbeatMiss.Inc()
+	case "heal":
+		ins.partitionHeal.Inc()
+	case "fail":
+		ins.linkFailures.Inc()
+	}
+	ins.tracer.Record(obs.EvLink, "link", event, 0)
 }
 
 // noteCreditStall counts one flow-control wait on an outbound link.

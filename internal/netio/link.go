@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +21,60 @@ const DefaultWindow = 256 * 1024
 
 // rendezvousTimeout bounds how long link setup waits for the peer.
 const rendezvousTimeout = 60 * time.Second
+
+// Resilience configures fault tolerance for every link of a broker.
+// With resilience enabled, both link halves heartbeat each other while
+// idle, bound every network operation with MissDeadline, and treat a
+// dead connection as an outage to heal rather than the end of the
+// channel: the dialer side re-dials with jittered exponential backoff,
+// the serving side re-arms its rendezvous token, and a RESUME
+// handshake (the receiver announces its delivered byte offset, the
+// sender replays everything after it) resynchronizes the stream and
+// its credit window. An outage that outlasts LinkDeadline degrades
+// into the normal cascading close: the local channel end is poisoned
+// and the process network terminates cleanly instead of hanging.
+//
+// Resilience changes the wire protocol (RESUME opens every
+// connection), so it must be enabled on every broker of a distributed
+// graph or on none.
+type Resilience struct {
+	// HeartbeatEvery is the idle-heartbeat interval, sent in both
+	// directions so either side can detect a dead peer.
+	HeartbeatEvery time.Duration
+	// MissDeadline bounds every read and control write; a connection
+	// silent for this long is declared dead.
+	MissDeadline time.Duration
+	// RetryBase is the first reconnect backoff; it doubles per attempt.
+	RetryBase time.Duration
+	// RetryMax caps the reconnect backoff.
+	RetryMax time.Duration
+	// LinkDeadline bounds one outage: a link that cannot resynchronize
+	// within this window degrades into a cascading close.
+	LinkDeadline time.Duration
+	// Seed seeds the backoff jitter.
+	Seed int64
+}
+
+// DefaultResilience returns production-shaped resilience settings.
+func DefaultResilience() Resilience {
+	return Resilience{
+		HeartbeatEvery: 500 * time.Millisecond,
+		MissDeadline:   2 * time.Second,
+		RetryBase:      25 * time.Millisecond,
+		RetryMax:       time.Second,
+		LinkDeadline:   15 * time.Second,
+	}
+}
+
+// linkSeq decorrelates per-link backoff jitter streams.
+var linkSeq atomic.Int64
+
+func newLinkRNG(res *Resilience) *rand.Rand {
+	if res == nil {
+		return nil
+	}
+	return rand.New(rand.NewSource(res.Seed + linkSeq.Add(1)))
+}
 
 // Handle tracks one cross-node channel link from this node's
 // perspective: either the sending half (outbound: local bytes flow to a
@@ -37,8 +93,9 @@ type Handle struct {
 	out *outboundLink
 	in  *inboundLink
 
-	done chan struct{}
-	err  error
+	done       chan struct{}
+	finishOnce sync.Once
+	err        error
 }
 
 func newHandle(b *Broker, outbound bool) *Handle {
@@ -86,12 +143,12 @@ func (h *Handle) PeerAddr() (string, error) {
 }
 
 func (h *Handle) finish(err error) {
-	h.mu.Lock()
-	if h.err == nil {
+	h.finishOnce.Do(func() {
+		h.mu.Lock()
 		h.err = err
-	}
-	h.mu.Unlock()
-	close(h.done)
+		h.mu.Unlock()
+		close(h.done)
+	})
 }
 
 func (h *Handle) markReady(peerAddr string) {
@@ -111,16 +168,21 @@ func (h *Handle) markReady(peerAddr string) {
 // capacity semantics across the network — kernel socket buffers would
 // otherwise add megabytes of invisible capacity (a non-positive window
 // selects DefaultWindow; the migration machinery passes the channel's
-// buffer capacity).
+// buffer capacity). With resilience enabled a failed dial is retried
+// with backoff in the background instead of failing the call.
 func (b *Broker) DialOutbound(addr, token string, src io.ReadCloser, window int) (*Handle, error) {
+	h := newHandle(b, true)
+	h.out = b.newOutbound(h, src, window, false, addr, token)
 	conn, err := b.dial(addr, token)
 	if err != nil {
-		return nil, err
+		if h.out.res == nil {
+			return nil, err
+		}
+		go h.out.redial(addr)
+		return h, nil
 	}
-	h := newHandle(b, true)
 	h.markReady(addr)
-	h.out = &outboundLink{h: h, src: src, window: normWindow(window)}
-	go h.out.run(countConn{conn, b})
+	go h.out.run(conn)
 	return h, nil
 }
 
@@ -129,15 +191,29 @@ func (b *Broker) DialOutbound(addr, token string, src io.ReadCloser, window int)
 // reader process moves away (§4.2). See DialOutbound for window.
 func (b *Broker) ServeOutbound(token string, src io.ReadCloser, window int) (*Handle, error) {
 	h := newHandle(b, true)
-	h.out = &outboundLink{h: h, src: src, window: normWindow(window)}
+	h.out = b.newOutbound(h, src, window, true, "", token)
 	err := b.expect(token, func(conn net.Conn, peerAddr string) {
 		h.markReady(peerAddr)
-		go h.out.run(countConn{conn, b})
+		go h.out.run(conn)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return h, nil
+}
+
+func (b *Broker) newOutbound(h *Handle, src io.ReadCloser, window int, serve bool, addr, token string) *outboundLink {
+	res := b.resilience()
+	return &outboundLink{
+		h:         h,
+		src:       src,
+		window:    normWindow(window),
+		res:       res,
+		rng:       newLinkRNG(res),
+		serveRole: serve,
+		dialAddr:  addr,
+		token:     token,
+	}
 }
 
 func normWindow(w int) int {
@@ -151,16 +227,19 @@ func normWindow(w int) int {
 // bytes into dst (the write end of the local pipe behind the moved
 // reader port).
 func (b *Broker) DialInbound(addr, token string, dst io.WriteCloser) (*Handle, error) {
+	h := newHandle(b, false)
+	h.in = b.newInbound(h, dst, false, addr, token)
 	conn, err := b.dial(addr, token)
 	if err != nil {
-		return nil, err
+		if h.in.res == nil {
+			return nil, err
+		}
+		go h.in.redial(addr)
+		return h, nil
 	}
-	h := newHandle(b, false)
 	h.markReady(addr)
-	h.in = &inboundLink{h: h, dst: dst}
-	cc := countConn{conn, b}
-	h.in.setConn(cc)
-	go h.in.run(cc)
+	h.in.setConn(conn)
+	go h.in.run(conn)
 	return h, nil
 }
 
@@ -170,17 +249,29 @@ func (b *Broker) DialInbound(addr, token string, dst io.WriteCloser) (*Handle, e
 // (§4.3).
 func (b *Broker) ServeInbound(token string, dst io.WriteCloser) (*Handle, error) {
 	h := newHandle(b, false)
-	h.in = &inboundLink{h: h, dst: dst}
+	h.in = b.newInbound(h, dst, true, "", token)
 	err := b.expect(token, func(conn net.Conn, peerAddr string) {
-		cc := countConn{conn, b}
-		h.in.setConn(cc)
+		h.in.setConn(conn)
 		h.markReady(peerAddr)
-		go h.in.run(cc)
+		go h.in.run(conn)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return h, nil
+}
+
+func (b *Broker) newInbound(h *Handle, dst io.WriteCloser, serve bool, addr, token string) *inboundLink {
+	res := b.resilience()
+	return &inboundLink{
+		h:         h,
+		dst:       dst,
+		res:       res,
+		rng:       newLinkRNG(res),
+		serveRole: serve,
+		dialAddr:  addr,
+		token:     token,
+	}
 }
 
 // Redirect arranges the §4.3 writer-side redirection: once src is
@@ -219,10 +310,60 @@ func (h *Handle) Move(addr, token string) error {
 	return h.Wait()
 }
 
+// reconnect reestablishes one side of a broken link. The dialer role
+// re-dials the peer with jittered exponential backoff; the serving
+// role re-arms its rendezvous token and waits. Both are bounded by the
+// outage's LinkDeadline.
+func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, token string, outageStart time.Time) (net.Conn, error) {
+	deadline := outageStart.Add(res.LinkDeadline)
+	if serve {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, errors.New("netio: link deadline exceeded")
+		}
+		conn, _, err := b.expectWithin(token, remaining)
+		return conn, err
+	}
+	backoff := res.RetryBase
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	for {
+		conn, err := b.dial(addr, token)
+		if err == nil {
+			return conn, nil
+		}
+		b.noteLink("retry")
+		wait := backoff
+		if rng != nil {
+			// Decorrelated jitter in [backoff/2, backoff].
+			half := backoff / 2
+			wait = half + time.Duration(rng.Int63n(int64(half)+1))
+		}
+		if time.Now().Add(wait).After(deadline) {
+			return nil, fmt.Errorf("netio: reconnect to %s: %w", addr, err)
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		if backoff > res.RetryMax && res.RetryMax > 0 {
+			backoff = res.RetryMax
+		}
+	}
+}
+
+// sentChunk is one unacknowledged DATA payload retained for replay,
+// keyed by its logical stream offset.
+type sentChunk struct {
+	off  uint64
+	data []byte
+}
+
 // outboundLink pumps a local byte source to the remote reader host,
 // subject to a credit window: at most `window` bytes may be
 // unacknowledged, so the receiver's bounded pipe governs the sender's
-// progress end to end.
+// progress end to end. With resilience enabled it retains unacked
+// chunks and replays them after a reconnect, trimming to the offset
+// the receiver announces in its RESUME frame.
 type outboundLink struct {
 	h   *Handle
 	src io.ReadCloser
@@ -236,6 +377,19 @@ type outboundLink struct {
 	chunks     chan []byte
 	srcErr     error
 	readerOnce sync.Once
+
+	// resilient state; untouched when res == nil. All fields below are
+	// owned by the run goroutine.
+	res       *Resilience
+	rng       *rand.Rand
+	serveRole bool
+	dialAddr  string
+	token     string
+	sendOff   uint64 // logical stream offset after the last sent chunk
+	ackOff    uint64 // offset the receiver has confirmed delivered
+	unacked   []sentChunk
+	pending   []byte // chunk taken from the source but not yet sent
+	finishing bool   // source exhausted; terminal frame in progress
 }
 
 func (o *outboundLink) setRedirect(token string) {
@@ -254,7 +408,7 @@ func (o *outboundLink) finalFrame() frame {
 }
 
 // startReader launches the goroutine that reads the source into the
-// chunk channel. It survives connection swaps (MOVING).
+// chunk channel. It survives connection swaps (MOVING and reconnects).
 func (o *outboundLink) startReader() {
 	o.readerOnce.Do(func() {
 		o.chunks = make(chan []byte)
@@ -279,6 +433,32 @@ func (o *outboundLink) startReader() {
 	})
 }
 
+// writeLink writes one frame, bounded by MissDeadline when resilient
+// (a write that cannot drain is a dead or partitioned peer; the
+// replay buffer makes a false positive merely wasteful, not wrong).
+func (o *outboundLink) writeLink(conn net.Conn, f frame) error {
+	if o.res != nil {
+		conn.SetWriteDeadline(time.Now().Add(o.res.MissDeadline))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return writeFrame(conn, f)
+}
+
+// redial runs the initial-dial retry loop for DialOutbound when the
+// first attempt fails under resilience.
+func (o *outboundLink) redial(addr string) {
+	o.h.b.noteLink("retry")
+	conn, err := o.h.b.reconnect(o.res, o.rng, false, addr, o.token, time.Now())
+	if err != nil {
+		o.h.b.noteLink("fail")
+		o.src.Close()
+		o.h.finish(err)
+		return
+	}
+	o.h.markReady(addr)
+	o.run(conn)
+}
+
 type ctrlEvent struct {
 	f   frame
 	err error
@@ -291,119 +471,348 @@ type ctrlOutcome int
 const (
 	ctrlContinue ctrlOutcome = iota // credit absorbed; keep going
 	ctrlStop                        // link is over (peer gone or reader closed)
-	ctrlMoved                       // reconnected to a new host; restart loops
+	ctrlMoved                       // reconnected to a new host; restart the session
+	ctrlFailed                      // connection dead; resilient reconnect wanted
 )
 
-// handleCtrl processes one control event. On ctrlMoved the new
-// connection (with a fresh control reader) is returned through *conn
-// and *ctrl.
-func (o *outboundLink) handleCtrl(ev ctrlEvent, conn *net.Conn, ctrl *chan ctrlEvent) ctrlOutcome {
+// trimUnacked drops (or slices) retained chunks the receiver has
+// confirmed up to off.
+func (o *outboundLink) trimUnacked(off uint64) {
+	for len(o.unacked) > 0 {
+		c := o.unacked[0]
+		end := c.off + uint64(len(c.data))
+		if end <= off {
+			o.unacked = o.unacked[1:]
+			continue
+		}
+		if c.off < off {
+			c.data = c.data[off-c.off:]
+			c.off = off
+			o.unacked[0] = c
+		}
+		return
+	}
+}
+
+// handleCtrl processes one control event. On ctrlMoved the connection
+// to the reader's new host is returned.
+func (o *outboundLink) handleCtrl(ev ctrlEvent, conn net.Conn) (ctrlOutcome, net.Conn) {
 	if ev.err == nil {
 		o.h.b.noteFrame(ev.f.kind, false, 0)
 	}
 	switch {
 	case ev.err != nil:
+		conn.Close()
+		if o.res != nil {
+			var ne net.Error
+			if errors.As(ev.err, &ne) && ne.Timeout() {
+				o.h.b.noteLink("miss")
+			}
+			return ctrlFailed, nil
+		}
 		// Peer vanished: poison the local writer so the process network
 		// observes termination (§3.4 across machines).
-		(*conn).Close()
 		o.src.Close()
 		o.h.finish(nil)
-		return ctrlStop
+		return ctrlStop, nil
 	case ev.f.kind == frameAck:
 		o.inFlight -= ev.f.ack
 		if o.inFlight < 0 {
 			o.inFlight = 0
 		}
-		return ctrlContinue
+		if o.res != nil {
+			o.ackOff += uint64(ev.f.ack)
+			o.trimUnacked(o.ackOff)
+		}
+		return ctrlContinue, nil
+	case ev.f.kind == frameBeat:
+		return ctrlContinue, nil
 	case ev.f.kind == frameCloseRead:
 		// Remote reader closed: cascade the exception upstream.
-		(*conn).Close()
+		conn.Close()
 		o.src.Close()
 		o.h.finish(nil)
-		return ctrlStop
+		return ctrlStop, nil
 	case ev.f.kind == frameMoving:
 		// Reader host is moving: fence this connection and reconnect
-		// directly to the new host. Bytes on the old path land in the
-		// old host's leftover buffer, so the in-flight count resets.
-		writeFrame(*conn, frame{kind: frameFence})
+		// directly to the new host. Every pre-fence byte lands in the
+		// old host's leftover buffer and travels inside the migration
+		// parcel, so the stream offsets rebase to zero.
+		writeFrame(conn, frame{kind: frameFence})
 		o.h.b.noteFrame(frameFence, true, 0)
-		halfCloseWrite(*conn)
-		(*conn).Close()
-		newConn, err := o.h.b.dial(ev.f.addr, ev.f.token)
+		halfCloseWrite(conn)
+		conn.Close()
+		o.inFlight = 0
+		o.sendOff, o.ackOff, o.unacked = 0, 0, nil
+		o.serveRole = false
+		o.dialAddr = ev.f.addr
+		o.token = ev.f.token
+		var newConn net.Conn
+		var err error
+		if o.res != nil {
+			newConn, err = o.h.b.reconnect(o.res, o.rng, false, ev.f.addr, ev.f.token, time.Now())
+		} else {
+			newConn, err = o.h.b.dial(ev.f.addr, ev.f.token)
+		}
 		if err != nil {
 			o.src.Close()
 			o.h.finish(fmt.Errorf("netio: reconnect after MOVING: %w", err))
-			return ctrlStop
+			return ctrlStop, nil
 		}
 		o.h.mu.Lock()
 		o.h.peerAddr = ev.f.addr
 		o.h.mu.Unlock()
-		o.inFlight = 0
-		cc := countConn{newConn, o.h.b}
-		*conn = cc
-		*ctrl = make(chan ctrlEvent, 16)
-		go readCtrl(cc, *ctrl)
-		return ctrlMoved
+		return ctrlMoved, newConn
 	default:
-		return ctrlContinue
+		return ctrlContinue, nil
 	}
 }
 
+type sessResult int
+
+const (
+	sessDone sessResult = iota
+	sessMoved
+	sessFailed
+)
+
 func (o *outboundLink) run(conn net.Conn) {
 	o.startReader()
-	ctrl := make(chan ctrlEvent, 16)
-	go readCtrl(conn, ctrl)
+	var outageStart time.Time
 	for {
-		select {
-		case chunk, ok := <-o.chunks:
-			if !ok {
-				// Source exhausted (or poisoned): finish the stream.
-				err := o.srcErr
-				if err == nil {
-					final := o.finalFrame()
-					err = writeFrame(conn, final)
-					if err == nil {
-						o.h.b.noteFrame(final.kind, true, 0)
-					}
-				}
-				halfCloseWrite(conn)
-				drainCtrl(conn, ctrl)
-				conn.Close()
-				o.h.finish(err)
-				return
-			}
-			// Flow control: wait for credit before sending, so the
-			// receiving pipe's capacity bounds the channel end to end.
-			if o.window > 0 && o.inFlight > 0 && o.inFlight+len(chunk) > o.window {
-				o.h.b.noteCreditStall()
-			}
-			for o.window > 0 && o.inFlight > 0 && o.inFlight+len(chunk) > o.window {
-				ev := <-ctrl
-				switch o.handleCtrl(ev, &conn, &ctrl) {
-				case ctrlStop:
-					return
-				default:
-				}
-			}
-			if err := writeFrame(conn, frame{kind: frameData, payload: chunk}); err != nil {
-				conn.Close()
+		res, next, progressed := o.session(conn)
+		if progressed {
+			outageStart = time.Time{}
+		}
+		switch res {
+		case sessDone:
+			return
+		case sessMoved:
+			conn = next
+			outageStart = time.Time{}
+		case sessFailed:
+			if o.res == nil {
+				// Legacy sessions finish before failing; defensive only.
 				o.src.Close()
-				o.h.finish(fmt.Errorf("netio: send failed: %w", err))
+				o.h.finish(errors.New("netio: link failed"))
 				return
 			}
-			o.h.b.noteFrame(frameData, true, len(chunk))
-			o.inFlight += len(chunk)
-		case ev := <-ctrl:
-			if o.handleCtrl(ev, &conn, &ctrl) == ctrlStop {
+			if outageStart.IsZero() {
+				outageStart = time.Now()
+			}
+			next, err := o.h.b.reconnect(o.res, o.rng, o.serveRole, o.dialAddr, o.token, outageStart)
+			if err != nil {
+				o.h.b.noteLink("fail")
+				o.src.Close()
+				if o.finishing && o.srcErr == nil {
+					// Every byte was sent; only the terminal frame's
+					// confirmation is outstanding. The receiver degrades
+					// independently, so this end shuts down clean.
+					o.h.finish(nil)
+				} else {
+					o.h.finish(err)
+				}
 				return
 			}
+			o.h.b.noteLink("heal")
+			conn = next
 		}
 	}
 }
 
-// readCtrl forwards control frames from the reader host.
-func readCtrl(conn net.Conn, ctrl chan<- ctrlEvent) {
+// resync performs the sender half of the RESUME handshake: the
+// receiver speaks first, announcing its delivered offset; retained
+// chunks past that offset are replayed and the credit window is
+// recomputed from the confirmed offset.
+func (o *outboundLink) resync(conn net.Conn) bool {
+	conn.SetReadDeadline(time.Now().Add(o.res.MissDeadline))
+	f, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || f.kind != frameResume {
+		return false
+	}
+	o.h.b.noteFrame(frameResume, false, 0)
+	off := f.off
+	if off < o.ackOff {
+		off = o.ackOff // delivered cannot regress; defensive
+	}
+	o.ackOff = off
+	o.trimUnacked(off)
+	for _, c := range o.unacked {
+		if err := o.writeLink(conn, frame{kind: frameData, payload: c.data}); err != nil {
+			return false
+		}
+		o.h.b.noteFrame(frameData, true, len(c.data))
+	}
+	o.inFlight = int(o.sendOff - o.ackOff)
+	return true
+}
+
+// session drives one connection's worth of the outbound stream. It
+// returns sessFailed (resilient mode only) when the connection died
+// and the stream should resume on a fresh one.
+func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
+	progressed := false
+	if o.res != nil {
+		if !o.resync(conn) {
+			conn.Close()
+			return sessFailed, nil, false
+		}
+		progressed = true
+	}
+	ctrl := make(chan ctrlEvent, 16)
+	go readCtrl(conn, ctrl, o.res)
+	var beat <-chan time.Time
+	if o.res != nil && o.res.HeartbeatEvery > 0 {
+		t := time.NewTicker(o.res.HeartbeatEvery)
+		defer t.Stop()
+		beat = t.C
+	}
 	for {
+		if o.finishing {
+			res, next := o.finishStream(conn, ctrl, beat)
+			return res, next, progressed
+		}
+		if o.pending == nil {
+			select {
+			case chunk, ok := <-o.chunks:
+				if !ok {
+					o.finishing = true
+					continue
+				}
+				o.pending = chunk
+			case ev := <-ctrl:
+				switch out, next := o.handleCtrl(ev, conn); out {
+				case ctrlStop:
+					return sessDone, nil, progressed
+				case ctrlFailed:
+					return sessFailed, nil, progressed
+				case ctrlMoved:
+					return sessMoved, next, progressed
+				}
+				continue
+			case <-beat:
+				if err := o.writeLink(conn, frame{kind: frameBeat}); err != nil {
+					conn.Close()
+					return sessFailed, nil, progressed
+				}
+				o.h.b.noteFrame(frameBeat, true, 0)
+				continue
+			}
+		}
+		// Flow control: wait for credit before sending, so the
+		// receiving pipe's capacity bounds the channel end to end.
+		if o.window > 0 && o.inFlight > 0 && o.inFlight+len(o.pending) > o.window {
+			o.h.b.noteCreditStall()
+		}
+		for o.window > 0 && o.inFlight > 0 && o.inFlight+len(o.pending) > o.window {
+			select {
+			case ev := <-ctrl:
+				switch out, next := o.handleCtrl(ev, conn); out {
+				case ctrlStop:
+					return sessDone, nil, progressed
+				case ctrlFailed:
+					return sessFailed, nil, progressed
+				case ctrlMoved:
+					return sessMoved, next, progressed
+				}
+			case <-beat:
+				if err := o.writeLink(conn, frame{kind: frameBeat}); err != nil {
+					conn.Close()
+					return sessFailed, nil, progressed
+				}
+				o.h.b.noteFrame(frameBeat, true, 0)
+			}
+		}
+		chunk := o.pending
+		if err := o.writeLink(conn, frame{kind: frameData, payload: chunk}); err != nil {
+			conn.Close()
+			if o.res != nil {
+				return sessFailed, nil, progressed
+			}
+			o.src.Close()
+			o.h.finish(fmt.Errorf("netio: send failed: %w", err))
+			return sessDone, nil, progressed
+		}
+		o.h.b.noteFrame(frameData, true, len(chunk))
+		o.inFlight += len(chunk)
+		if o.res != nil {
+			o.unacked = append(o.unacked, sentChunk{off: o.sendOff, data: chunk})
+			o.sendOff += uint64(len(chunk))
+		}
+		o.pending = nil
+	}
+}
+
+// finishStream sends the terminal frame (EOF or REDIRECT) and shuts
+// the link down. With resilience the sender waits for the receiver's
+// BYE confirmation, reconnecting and re-sending the terminal frame if
+// the connection dies first — a lost EOF is otherwise indistinguishable
+// from a lost peer.
+func (o *outboundLink) finishStream(conn net.Conn, ctrl chan ctrlEvent, beat <-chan time.Time) (sessResult, net.Conn) {
+	if o.res == nil {
+		err := o.srcErr
+		if err == nil {
+			final := o.finalFrame()
+			err = writeFrame(conn, final)
+			if err == nil {
+				o.h.b.noteFrame(final.kind, true, 0)
+			}
+		}
+		halfCloseWrite(conn)
+		drainCtrl(conn, ctrl)
+		conn.Close()
+		o.h.finish(err)
+		return sessDone, nil
+	}
+	if o.srcErr != nil {
+		halfCloseWrite(conn)
+		conn.Close()
+		o.h.finish(o.srcErr)
+		return sessDone, nil
+	}
+	final := o.finalFrame()
+	if err := o.writeLink(conn, final); err != nil {
+		conn.Close()
+		return sessFailed, nil
+	}
+	o.h.b.noteFrame(final.kind, true, 0)
+	for {
+		select {
+		case ev := <-ctrl:
+			if ev.err == nil && ev.f.kind == frameBye {
+				o.h.b.noteFrame(frameBye, false, 0)
+				conn.Close()
+				o.src.Close()
+				o.h.finish(nil)
+				return sessDone, nil
+			}
+			switch out, next := o.handleCtrl(ev, conn); out {
+			case ctrlStop:
+				return sessDone, nil
+			case ctrlFailed:
+				return sessFailed, nil
+			case ctrlMoved:
+				return sessMoved, next
+			}
+		case <-beat:
+			if err := o.writeLink(conn, frame{kind: frameBeat}); err != nil {
+				conn.Close()
+				return sessFailed, nil
+			}
+			o.h.b.noteFrame(frameBeat, true, 0)
+		}
+	}
+}
+
+// readCtrl forwards control frames from the reader host. With
+// resilience every read is bounded by MissDeadline; the receiver
+// heartbeats the control direction, so a timeout means a dead peer.
+func readCtrl(conn net.Conn, ctrl chan<- ctrlEvent, res *Resilience) {
+	for {
+		if res != nil {
+			conn.SetReadDeadline(time.Now().Add(res.MissDeadline))
+		}
 		f, err := readFrame(conn)
 		if err != nil {
 			ctrl <- ctrlEvent{err: err}
@@ -426,7 +835,9 @@ func drainCtrl(conn net.Conn, ctrl <-chan ctrlEvent) {
 }
 
 // inboundLink pumps received bytes into the local pipe behind a reader
-// port.
+// port. With resilience it opens every connection by announcing its
+// delivered offset (RESUME), heartbeats the control direction, and
+// treats a silent connection as an outage to heal.
 type inboundLink struct {
 	h   *Handle
 	dst io.WriteCloser
@@ -434,6 +845,14 @@ type inboundLink struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	moving bool
+
+	// resilient state; owned by the run goroutine.
+	res       *Resilience
+	rng       *rand.Rand
+	serveRole bool
+	dialAddr  string
+	token     string
+	delivered uint64 // bytes fully written into dst
 }
 
 func (i *inboundLink) sendMoving(addr, token string) error {
@@ -456,71 +875,185 @@ func (i *inboundLink) setConn(conn net.Conn) {
 	i.mu.Unlock()
 }
 
-func (i *inboundLink) run(conn net.Conn) {
+// ctrlWrite serializes control-direction writes (ACK, BEAT, RESUME,
+// BYE, CLOSEREAD, MOVING share the conn with the heartbeat goroutine),
+// bounded by MissDeadline when resilient.
+func (i *inboundLink) ctrlWrite(conn net.Conn, f frame) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.res != nil {
+		conn.SetWriteDeadline(time.Now().Add(i.res.MissDeadline))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return writeFrame(conn, f)
+}
+
+// beatLoop heartbeats the control direction so the sender's bounded
+// reads see traffic even when no data is being consumed.
+func (i *inboundLink) beatLoop(conn net.Conn, stop <-chan struct{}) {
+	t := time.NewTicker(i.res.HeartbeatEvery)
+	defer t.Stop()
 	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := i.ctrlWrite(conn, frame{kind: frameBeat}); err != nil {
+				return // the read deadline will declare the conn dead
+			}
+			i.h.b.noteFrame(frameBeat, true, 0)
+		}
+	}
+}
+
+// redial runs the initial-dial retry loop for DialInbound when the
+// first attempt fails under resilience.
+func (i *inboundLink) redial(addr string) {
+	i.h.b.noteLink("retry")
+	conn, err := i.h.b.reconnect(i.res, i.rng, false, addr, i.token, time.Now())
+	if err != nil {
+		i.h.b.noteLink("fail")
+		i.dst.Close()
+		i.h.finish(err)
+		return
+	}
+	i.h.markReady(addr)
+	i.setConn(conn)
+	i.run(conn)
+}
+
+func (i *inboundLink) run(conn net.Conn) {
+	var outageStart time.Time
+	for {
+		done, progressed := i.session(conn)
+		if progressed {
+			outageStart = time.Time{}
+		}
+		if done {
+			return
+		}
+		if i.res == nil {
+			return // legacy sessions always finish
+		}
+		if outageStart.IsZero() {
+			outageStart = time.Now()
+		}
+		next, err := i.h.b.reconnect(i.res, i.rng, i.serveRole, i.dialAddr, i.token, outageStart)
+		if err != nil {
+			// Degrade: poison the local reader so the process network
+			// terminates by cascading close instead of hanging (§3.4).
+			i.h.b.noteLink("fail")
+			i.dst.Close()
+			i.h.finish(err)
+			return
+		}
+		i.h.b.noteLink("heal")
+		i.setConn(next)
+		conn = next
+	}
+}
+
+// session drives one connection's worth of the inbound stream. It
+// returns done=false (resilient mode only) when the connection died
+// and the stream should resume on a fresh one.
+func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
+	if i.res != nil {
+		if err := i.ctrlWrite(conn, frame{kind: frameResume, off: i.delivered}); err != nil {
+			conn.Close()
+			return false, false
+		}
+		i.h.b.noteFrame(frameResume, true, 0)
+		stop := make(chan struct{})
+		defer close(stop)
+		go i.beatLoop(conn, stop)
+	}
+	for {
+		if i.res != nil {
+			conn.SetReadDeadline(time.Now().Add(i.res.MissDeadline))
+		}
 		f, err := readFrame(conn)
 		if err != nil {
-			// Connection lost. If we initiated a move, the fence may
-			// have raced the close; either way the remaining bytes (if
-			// any) are gone only if the writer crashed — close the data
-			// stream so the local reader terminates.
 			i.mu.Lock()
 			moving := i.moving
 			i.mu.Unlock()
 			conn.Close()
-			if !moving {
-				i.dst.Close()
+			if moving {
+				// We initiated a move and the fence may have raced the
+				// close; the migration machinery drains the pipe, so do
+				// not close dst.
+				i.h.finish(nil)
+				return true, progressed
 			}
+			if i.res != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					i.h.b.noteLink("miss")
+				}
+				return false, progressed
+			}
+			// Connection lost: close the data stream so the local reader
+			// terminates.
+			i.dst.Close()
 			i.h.finish(nil)
-			return
+			return true, progressed
 		}
+		progressed = true
 		i.h.b.noteFrame(f.kind, false, len(f.payload))
 		switch f.kind {
+		case frameBeat:
+			// Liveness only.
 		case frameData:
 			if _, err := i.dst.Write(f.payload); err != nil {
 				// Local reader closed: cascade upstream (§3.4).
-				i.mu.Lock()
-				writeFrame(conn, frame{kind: frameCloseRead})
-				i.mu.Unlock()
+				i.ctrlWrite(conn, frame{kind: frameCloseRead})
 				i.h.b.noteFrame(frameCloseRead, true, 0)
 				conn.Close()
 				i.h.finish(nil)
-				return
+				return true, progressed
 			}
+			i.delivered += uint64(len(f.payload))
 			// Grant the sender credit for the consumed bytes.
-			i.mu.Lock()
-			writeFrame(conn, frame{kind: frameAck, ack: len(f.payload)})
-			i.mu.Unlock()
+			i.ctrlWrite(conn, frame{kind: frameAck, ack: len(f.payload)})
 			i.h.b.noteFrame(frameAck, true, 0)
 		case frameEOF:
+			if i.res != nil {
+				if i.ctrlWrite(conn, frame{kind: frameBye}) == nil {
+					i.h.b.noteFrame(frameBye, true, 0)
+				}
+			}
 			i.dst.Close()
 			conn.Close()
 			i.h.finish(nil)
-			return
+			return true, progressed
 		case frameFence:
 			// We asked the writer to move to a new host; the stream
 			// pauses here and resumes there. Do not close dst: the
 			// migration machinery drains it into the descriptor.
 			conn.Close()
 			i.h.finish(nil)
-			return
+			return true, progressed
 		case frameRedirect:
 			// Writer end is moving: re-arm the rendezvous on our broker
 			// with the announced token; the writer's new host will
 			// connect directly (§4.3).
+			if i.res != nil {
+				if i.ctrlWrite(conn, frame{kind: frameBye}) == nil {
+					i.h.b.noteFrame(frameBye, true, 0)
+				}
+			}
 			_, err := i.h.b.ServeInbound(f.token, i.dst)
 			conn.Close()
 			if err != nil {
 				i.h.finish(fmt.Errorf("netio: redirect re-arm: %w", err))
-				return
+				return true, progressed
 			}
 			i.h.finish(nil)
-			return
+			return true, progressed
 		default:
 			conn.Close()
 			i.dst.Close()
 			i.h.finish(errBadFrame)
-			return
+			return true, progressed
 		}
 	}
 }

@@ -46,6 +46,9 @@ const (
 	EvTask
 	// EvRPC marks one compute-server RPC (Name is the request kind).
 	EvRPC
+	// EvLink marks a network-link lifecycle event (Detail "retry",
+	// "miss", "heal", or "fail").
+	EvLink
 )
 
 var evNames = [...]string{
@@ -62,6 +65,7 @@ var evNames = [...]string{
 	EvDeadlock: "deadlock",
 	EvTask:     "task",
 	EvRPC:      "rpc",
+	EvLink:     "link",
 }
 
 func (t EventType) String() string {
@@ -80,7 +84,7 @@ func (t EventType) cat() string {
 		return "process"
 	case EvReconfig:
 		return "reconfig"
-	case EvFrame, EvMigrate:
+	case EvFrame, EvMigrate, EvLink:
 		return "net"
 	case EvDeadlock:
 		return "deadlock"

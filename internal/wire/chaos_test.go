@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"dpn/internal/faults"
+	"dpn/internal/netio"
+	"dpn/internal/obs"
+	"dpn/internal/proclib"
+)
+
+// Chaos variant of the §4.3 redirection tests: every broker runs with
+// latency/jitter fault injection and resilient links while a channel's
+// writer end migrates twice (A→C, then C→D). Drops and partitions are
+// deliberately absent — the MOVING/REDIRECT handshake itself is not
+// fault-protected (see DESIGN.md, "Fault model") — but every frame of
+// the handshake and of the data stream crosses a delayed, jittered
+// connection, so ordering bugs in the redirect protocol surface.
+
+func chaosWireSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED: %v", err)
+		}
+		return v
+	}
+	return def
+}
+
+func newChaosWireNode(t *testing.T, inj *faults.Injector, res netio.Resilience) *Node {
+	t.Helper()
+	n := newTestNode(t)
+	n.Broker.SetFaults(inj)
+	n.Broker.SetResilience(res)
+	return n
+}
+
+// redirectsSent reads this node's outbound REDIRECT frame counter from
+// its observability registry — the link-event evidence that the node
+// announced a redirect rather than relaying.
+func redirectsSent(n *Node) int64 {
+	return n.Obs().Registry().Counter("dpn_broker_frames_total",
+		obs.L("dir", "out"), obs.L("kind", "redirect")).Value()
+}
+
+func TestChaosRedirectTwiceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	seed := chaosWireSeed(t, 77)
+	t.Logf("chaos seed %d", seed)
+	inj := faults.New(faults.Config{
+		Seed:    seed,
+		Latency: 300 * time.Microsecond,
+		Jitter:  400 * time.Microsecond,
+	})
+	res := netio.Resilience{
+		HeartbeatEvery: 30 * time.Millisecond,
+		MissDeadline:   500 * time.Millisecond,
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       60 * time.Millisecond,
+		LinkDeadline:   10 * time.Second,
+		Seed:           seed,
+	}
+	a := newChaosWireNode(t, inj, res)
+	b := newChaosWireNode(t, inj, res)
+	c := newChaosWireNode(t, inj, res)
+	d := newChaosWireNode(t, inj, res)
+
+	ch := a.Net.NewChannel("ab", 64)
+	src := &proclib.SliceSource{Values: seq(60), Out: ch.Writer()}
+	sink := &proclib.Collect{In: ch.Reader()}
+
+	// Hop 1: consumer to B.
+	p1, err := Export(a, b.Broker.Addr(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procsB, err := Import(b, ship(t, p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkB := findCollect(procsB)
+
+	// Hop 2: producer to C — the first writer-side redirect.
+	p2, err := Export(a, c.Broker.Addr(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procsC, err := Import(c, ship(t, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hop 3: producer again, C → D — the second redirect.
+	p3, err := Export(c, d.Broker.Addr(), procsC[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Boundary[0].Addr != b.Broker.Addr() {
+		t.Fatalf("second redirect points at %q, want B %q", p3.Boundary[0].Addr, b.Broker.Addr())
+	}
+
+	aIn, aOut := a.Broker.BytesIn(), a.Broker.BytesOut()
+	cIn, cOut := c.Broker.BytesIn(), c.Broker.BytesOut()
+
+	if _, err := SpawnImported(d, ship(t, p3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procsB {
+		b.Net.Spawn(p)
+	}
+	waitNet(t, d.Net, "final producer node")
+	waitNet(t, b.Net, "consumer node")
+	if got := sinkB.Values(); !reflect.DeepEqual(got, seq(60)) {
+		t.Fatalf("got %v", got)
+	}
+	// Direct connection, not relaying: neither earlier host moved data
+	// after its redirect, and each announced exactly its own redirect.
+	if a.Broker.BytesIn() != aIn || a.Broker.BytesOut() != aOut {
+		t.Fatal("traffic relayed through A under faults")
+	}
+	if c.Broker.BytesIn() != cIn || c.Broker.BytesOut() != cOut {
+		t.Fatal("traffic relayed through C under faults")
+	}
+	if redirectsSent(a) == 0 || redirectsSent(c) == 0 {
+		t.Fatalf("redirect frames missing from obs counters: A=%d C=%d",
+			redirectsSent(a), redirectsSent(c))
+	}
+	if d.Broker.BytesOut() == 0 || b.Broker.BytesIn() == 0 {
+		t.Fatal("expected direct D→B traffic")
+	}
+}

@@ -77,6 +77,7 @@ func NewNode(net *core.Network, broker *netio.Broker) *Node {
 	reg := scope.Registry()
 	reg.Help("dpn_wire_parcels_total", "Graph parcels processed by this node, by op (export|import).")
 	reg.Help("dpn_wire_migrations_total", "Running processes migrated off this node (§6.1).")
+	reg.Help("dpn_wire_link_failures_total", "Channel links that shut down with an error, by channel.")
 	return &Node{Net: net, Broker: broker, links: make(map[*core.Channel]*netio.Handle)}
 }
 
@@ -119,6 +120,28 @@ func (n *Node) trackLink(ch *core.Channel, h *netio.Handle) {
 	n.mu.Lock()
 	n.links[ch] = h
 	n.mu.Unlock()
+	go n.watchLink(ch, h)
+}
+
+// watchLink waits for a tracked link to shut down and reports it. A
+// link that ends with an error has exhausted its resilience (or, in
+// legacy mode, hit any network fault): the local channel end has been
+// poisoned and the graph degrades through the §3.4 cascading close.
+// The counter and the traced event are how an operator distinguishes
+// "graph finished" from "graph degraded". The map entry is dropped
+// either way, so a dead handle is never offered a Move or Redirect.
+func (n *Node) watchLink(ch *core.Channel, h *netio.Handle) {
+	err := h.Wait()
+	n.mu.Lock()
+	if n.links[ch] == h {
+		delete(n.links, ch)
+	}
+	n.mu.Unlock()
+	if err != nil {
+		s := n.Obs()
+		s.Registry().Counter("dpn_wire_link_failures_total", obs.L("channel", ch.Name())).Inc()
+		s.Record(obs.EvLink, ch.Name(), "fail", 0)
+	}
 }
 
 func (n *Node) linkFor(ch *core.Channel) *netio.Handle {

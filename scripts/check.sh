@@ -2,10 +2,46 @@
 # Full pre-merge gate: vet, build everything, then run the whole test
 # suite under the race detector. The observability layer is updated
 # from every process goroutine, so -race is not optional here.
-set -eux
+#
+#   check.sh         vet + build + race-enabled test suite
+#   check.sh -chaos  chaos gate: every test whose name contains
+#                    "Chaos" runs three times under -race with a
+#                    fresh fault schedule each run. On failure the
+#                    logged seed is replayed once (CHAOS_SEED pins
+#                    the schedule): a second failure is reproducible
+#                    — report it with that seed — while a replay
+#                    pass classifies the original failure as flaky.
+set -eu
 
 cd "$(dirname "$0")/.."
 
+if [ "${1:-}" = "-chaos" ]; then
+	log=$(mktemp)
+	trap 'rm -f "$log"' EXIT
+	echo "chaos gate: go test -race -run Chaos -count=3 ./..."
+	if go test -race -run Chaos -count=3 ./... 2>&1 | tee "$log"; then
+		echo "chaos gate: PASS"
+		exit 0
+	fi
+	seed=$(grep -Eo 'chaos seed [0-9]+' "$log" | tail -n 1 | grep -Eo '[0-9]+' || true)
+	if [ -z "$seed" ]; then
+		echo "chaos gate: FAIL (no 'chaos seed N' line logged; not replayable)"
+		exit 1
+	fi
+	pkgs=$(grep -E '^(FAIL|---[ ]FAIL)' "$log" | grep -Eo '\bdpn/[a-z/]+' | sort -u || true)
+	[ -n "$pkgs" ] || pkgs=./...
+	echo "chaos gate: FAIL — replaying with CHAOS_SEED=$seed: $pkgs"
+	if CHAOS_SEED="$seed" go test -race -run Chaos -count=1 $pkgs; then
+		echo "chaos gate: FLAKY (seed $seed passed on replay; original failure did not reproduce)"
+		exit 1
+	fi
+	echo "chaos gate: REPRODUCIBLE — rerun with CHAOS_SEED=$seed to debug"
+	exit 1
+fi
+
+set -x
 go vet ./...
 go build ./...
 go test -race ./...
+set +x
+./scripts/check.sh -chaos
