@@ -53,7 +53,10 @@ type Config struct {
 	// PartitionAt set means the partition never heals.
 	PartitionFor time.Duration
 	// PartitionEvery repeats the scheduled partition at this interval
-	// (zero means it happens once).
+	// (zero means it happens once). It requires a positive PartitionFor:
+	// a partition that never heals has nothing to repeat, so
+	// every-without-for is rejected by Parse and treated as a permanent
+	// partition by the injector.
 	PartitionEvery time.Duration
 	// Stall selects partition mode "stall": operations block until the
 	// partition ends or the connection's deadline fires, instead of
@@ -157,14 +160,14 @@ func (i *Injector) partitionedAt(now time.Time) bool {
 	if since < i.cfg.PartitionAt {
 		return false
 	}
+	if i.cfg.PartitionFor <= 0 {
+		// Permanent from onset; PartitionEvery is meaningless without a
+		// healing window (Parse rejects that combination).
+		return true
+	}
 	into := since - i.cfg.PartitionAt
 	if i.cfg.PartitionEvery > 0 {
 		into = into % i.cfg.PartitionEvery
-	} else if i.cfg.PartitionFor > 0 && into >= i.cfg.PartitionFor {
-		return false
-	}
-	if i.cfg.PartitionFor <= 0 {
-		return true // scheduled and permanent
 	}
 	return into < i.cfg.PartitionFor
 }

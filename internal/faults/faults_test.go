@@ -334,6 +334,30 @@ func TestParseSpec(t *testing.T) {
 	if cfg, _ := Parse("partition=1s"); cfg.PartitionAt != time.Second || cfg.PartitionFor != 0 {
 		t.Fatalf("partition without duration parsed as %+v", cfg)
 	}
+	// every without a healing window is rejected: the modulo repeat has
+	// nothing to repeat, so the spec would silently mean "permanent".
+	if _, err := Parse("partition=1s,every=10s"); err == nil {
+		t.Fatalf("expected error for every without partition=<at>:<for>")
+	}
+	if _, err := Parse("every=10s"); err == nil {
+		t.Fatalf("expected error for every without any partition window")
+	}
+}
+
+func TestScheduledPermanentPartitionIgnoresEvery(t *testing.T) {
+	// Direct Config construction can still pair PartitionEvery with a
+	// zero PartitionFor; the injector treats that as permanent from
+	// onset rather than oscillating on the modulo.
+	inj := New(Config{Seed: 1, PartitionAt: 10 * time.Millisecond, PartitionEvery: 20 * time.Millisecond})
+	at := func(d time.Duration) bool { return inj.partitionedAt(inj.start.Add(d)) }
+	if at(5 * time.Millisecond) {
+		t.Fatalf("partitioned before onset")
+	}
+	for _, d := range []time.Duration{15, 35, 95} {
+		if !at(d * time.Millisecond) {
+			t.Fatalf("permanent partition not active %v after start", d*time.Millisecond)
+		}
+	}
 }
 
 func TestInjectedCounter(t *testing.T) {

@@ -14,8 +14,9 @@ import (
 //
 // Keys: seed (int64), latency/jitter (durations), drop/short
 // (probabilities in [0,1]), partition=<at>[:<for>] (omitting <for>
-// partitions forever), every (repeat interval), mode (stall|reset;
-// reset is the default). An empty spec is the zero Config.
+// partitions forever), every (repeat interval; requires a <for>
+// healing window), mode (stall|reset; reset is the default). An empty
+// spec is the zero Config.
 func Parse(spec string) (Config, error) {
 	var cfg Config
 	spec = strings.TrimSpace(spec)
@@ -62,6 +63,9 @@ func Parse(spec string) (Config, error) {
 		if err != nil {
 			return cfg, fmt.Errorf("faults: %s: %w", key, err)
 		}
+	}
+	if cfg.PartitionEvery > 0 && cfg.PartitionFor <= 0 {
+		return cfg, fmt.Errorf("faults: every requires partition=<at>:<for> (a partition without a healing window cannot repeat)")
 	}
 	return cfg, nil
 }

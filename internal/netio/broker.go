@@ -254,9 +254,22 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 		conn net.Conn
 		peer string
 	}
+	// handleConn can pop the handler just before cancelExpect runs and
+	// invoke it just after, so cancellation alone cannot prevent a late
+	// delivery. The timedOut flag settles the race under mu: a handler
+	// that loses closes the connection itself instead of stranding it in
+	// a channel nobody will ever read.
 	ch := make(chan arrival, 1)
+	var mu sync.Mutex
+	timedOut := false
 	if err := b.expect(token, func(conn net.Conn, peer string) {
-		ch <- arrival{conn, peer}
+		mu.Lock()
+		defer mu.Unlock()
+		if timedOut {
+			conn.Close()
+			return
+		}
+		ch <- arrival{conn, peer} // buffered; at most one handler fires
 	}); err != nil {
 		return nil, "", err
 	}
@@ -267,7 +280,11 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 		return a.conn, a.peer, nil
 	case <-timer.C:
 		b.cancelExpect(token)
-		// The handler may have fired between timeout and cancel.
+		mu.Lock()
+		timedOut = true
+		mu.Unlock()
+		// A handler that fired before timedOut was set has already
+		// buffered its arrival; claim it rather than drop the conn.
 		select {
 		case a := <-ch:
 			return a.conn, a.peer, nil

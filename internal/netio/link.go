@@ -329,6 +329,15 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 		backoff = time.Millisecond
 	}
 	for {
+		// Check the outage deadline before every attempt, not only on
+		// dial failure: a peer broker can keep accepting HELLOs while the
+		// peer link itself is gone (receiver degraded, EOF/BYE lost), so
+		// each "successful" dial is followed by a failed resync and
+		// another reconnect. Without this check that cycle never ends and
+		// the link never degrades.
+		if !time.Now().Before(deadline) {
+			return nil, errors.New("netio: link deadline exceeded")
+		}
 		conn, err := b.dial(addr, token)
 		if err == nil {
 			return conn, nil
@@ -604,10 +613,12 @@ func (o *outboundLink) run(conn net.Conn) {
 			if err != nil {
 				o.h.b.noteLink("fail")
 				o.src.Close()
-				if o.finishing && o.srcErr == nil {
-					// Every byte was sent; only the terminal frame's
-					// confirmation is outstanding. The receiver degrades
-					// independently, so this end shuts down clean.
+				if o.finishing && o.srcErr == nil && len(o.unacked) == 0 {
+					// Every byte was confirmed delivered; only the terminal
+					// frame's confirmation is outstanding. The receiver
+					// degrades independently, so this end shuts down clean.
+					// Unacked bytes mean possible data loss and must surface
+					// as a link failure, not a clean close.
 					o.h.finish(nil)
 				} else {
 					o.h.finish(err)
@@ -661,7 +672,9 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 		progressed = true
 	}
 	ctrl := make(chan ctrlEvent, 16)
-	go readCtrl(conn, ctrl, o.res)
+	quit := make(chan struct{})
+	defer close(quit)
+	go readCtrl(conn, ctrl, quit, o.res)
 	var beat <-chan time.Time
 	if o.res != nil && o.res.HeartbeatEvery > 0 {
 		t := time.NewTicker(o.res.HeartbeatEvery)
@@ -808,17 +821,27 @@ func (o *outboundLink) finishStream(conn net.Conn, ctrl chan ctrlEvent, beat <-c
 // readCtrl forwards control frames from the reader host. With
 // resilience every read is bounded by MissDeadline; the receiver
 // heartbeats the control direction, so a timeout means a dead peer.
-func readCtrl(conn net.Conn, ctrl chan<- ctrlEvent, res *Resilience) {
+// Every send selects on quit: a session that ends without draining the
+// channel (sessFailed, sessMoved) would otherwise strand this goroutine
+// behind a full buffer for the process lifetime.
+func readCtrl(conn net.Conn, ctrl chan<- ctrlEvent, quit <-chan struct{}, res *Resilience) {
 	for {
 		if res != nil {
 			conn.SetReadDeadline(time.Now().Add(res.MissDeadline))
 		}
 		f, err := readFrame(conn)
 		if err != nil {
-			ctrl <- ctrlEvent{err: err}
+			select {
+			case ctrl <- ctrlEvent{err: err}:
+			case <-quit:
+			}
 			return
 		}
-		ctrl <- ctrlEvent{f: f}
+		select {
+		case ctrl <- ctrlEvent{f: f}:
+		case <-quit:
+			return
+		}
 		if f.kind == frameMoving {
 			return // connection is being abandoned
 		}

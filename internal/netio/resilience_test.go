@@ -221,6 +221,77 @@ func TestResilientLinkDegradesOnPermanentPartition(t *testing.T) {
 	}
 }
 
+func TestResilientDialRoleDegradesWhenPeerEndpointNeverArrives(t *testing.T) {
+	// Regression: the peer's broker keeps accepting HELLOs (the dial
+	// "succeeds" and the connection is parked as pending) but the peer
+	// endpoint itself is gone, so resync never completes. The dial-role
+	// reconnect loop must still enforce LinkDeadline — successful dials
+	// followed by failed resyncs used to cycle forever without ever
+	// degrading, hanging the process network.
+	res := testResilience()
+	res.MissDeadline = 100 * time.Millisecond
+	res.LinkDeadline = 600 * time.Millisecond
+
+	t.Run("outbound", func(t *testing.T) {
+		a := newResilientBroker(t, res)
+		b := newResilientBroker(t, res)
+		src := stream.NewPipe(1 << 12)
+		// No ServeInbound on b: its broker parks every connection.
+		h, err := a.DialOutbound(b.Addr(), b.NewToken(), src.ReadEnd(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-h.Done():
+		case <-time.After(15 * time.Second):
+			t.Fatalf("outbound link never degraded: reconnect cycled past LinkDeadline")
+		}
+		if err := h.Wait(); err == nil {
+			t.Fatalf("degraded link must report an error")
+		}
+		if _, err := src.Write([]byte("x")); err == nil {
+			t.Fatalf("sender source still writable after link degraded")
+		}
+		if a.LinkFailures() == 0 {
+			t.Fatalf("no link failure recorded")
+		}
+	})
+
+	t.Run("inbound", func(t *testing.T) {
+		a := newResilientBroker(t, res)
+		b := newResilientBroker(t, res)
+		dst := stream.NewPipe(1 << 12)
+		// No ServeOutbound on b: RESUME is swallowed by a parked conn.
+		h, err := a.DialInbound(b.Addr(), b.NewToken(), dst.WriteEnd())
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-h.Done():
+		case <-time.After(15 * time.Second):
+			t.Fatalf("inbound link never degraded: reconnect cycled past LinkDeadline")
+		}
+		if err := h.Wait(); err == nil {
+			t.Fatalf("degraded link must report an error")
+		}
+		// The pipe must be poisoned so local readers terminate (EOF or a
+		// pipe error both do; a hang is the failure mode).
+		readDone := make(chan struct{})
+		go func() {
+			io.ReadAll(dst.ReadEnd())
+			close(readDone)
+		}()
+		select {
+		case <-readDone:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("receiver pipe not poisoned: local read hung")
+		}
+		if a.LinkFailures() == 0 {
+			t.Fatalf("no link failure recorded")
+		}
+	})
+}
+
 func TestResilientDialRetriesUntilServerArrives(t *testing.T) {
 	// The initial dial happens while the peer is partitioned; the
 	// backoff loop must keep retrying and connect once it heals.
