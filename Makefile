@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet
+.PHONY: build test check chaos vet bench
 
 build:
 	go build ./...
@@ -18,3 +18,10 @@ check:
 # seed-replay flaky classifier; see scripts/check.sh -chaos.
 chaos:
 	./scripts/check.sh -chaos
+
+# Re-records the hot-path benchmark trajectory (BENCH_pr3.json), then
+# fails if allocs/op on the sentinel benchmarks regressed against it;
+# see scripts/bench.sh and EXPERIMENTS.md, "Benchmark trajectory".
+bench:
+	./scripts/bench.sh
+	./scripts/check.sh -bench

@@ -106,12 +106,29 @@ func (p *ReadPort) RetargetSource(src io.ReadCloser) error {
 	return nil
 }
 
+// Buffered reports how many bytes are immediately readable without
+// blocking (0 when the transport cannot tell). Batch decoders in
+// package token use it to size non-blocking drains.
+func (p *ReadPort) Buffered() int {
+	if p.s == nil || p.s.seq == nil {
+		return 0
+	}
+	return p.s.seq.Buffered()
+}
+
 // NoteToken records one typed element consumed through this port; it
 // feeds the dpn_channel_tokens_total counter. Package token calls it
 // after each successfully decoded element.
 func (p *ReadPort) NoteToken() {
 	if p.s != nil && p.s.ch != nil {
 		p.s.ch.tokensOut.Inc()
+	}
+}
+
+// NoteTokens records k consumed elements in one counter operation.
+func (p *ReadPort) NoteTokens(k int) {
+	if p.s != nil && p.s.ch != nil {
+		p.s.ch.tokensOut.Add(int64(k))
 	}
 }
 
@@ -138,6 +155,16 @@ func (p *WritePort) Write(b []byte) (int, error) {
 		return 0, ErrDetached
 	}
 	return p.s.sw.Write(b)
+}
+
+// WriteVec appends a multi-part element to the channel as one
+// operation (see stream.SwitchWriter.WriteVec): one lock round trip,
+// at most one consumer wakeup, and no torn element on any transport.
+func (p *WritePort) WriteVec(bufs ...[]byte) (int, error) {
+	if p.s == nil || p.s.sw == nil {
+		return 0, ErrDetached
+	}
+	return p.s.sw.WriteVec(bufs...)
 }
 
 // Close closes the producing end. The consumer drains buffered data and
@@ -189,6 +216,13 @@ func (p *WritePort) RetargetSink(w io.WriteCloser) (io.WriteCloser, error) {
 func (p *WritePort) NoteToken() {
 	if p.s != nil && p.s.ch != nil {
 		p.s.ch.tokensIn.Inc()
+	}
+}
+
+// NoteTokens records k produced elements in one counter operation.
+func (p *WritePort) NoteTokens(k int) {
+	if p.s != nil && p.s.ch != nil {
+		p.s.ch.tokensIn.Add(int64(k))
 	}
 }
 

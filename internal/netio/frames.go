@@ -41,6 +41,11 @@ const (
 // maxFramePayload bounds frame payloads defensively.
 const maxFramePayload = 1 << 26
 
+// frameHdrLen is the encoded size of a DATA frame header (kind byte +
+// uint32 payload length). Outbound chunk buffers reserve this much
+// headroom so header and payload leave in a single write.
+const frameHdrLen = 5
+
 // errBadFrame reports a malformed or unexpected frame.
 var errBadFrame = errors.New("netio: malformed frame")
 
@@ -54,81 +59,105 @@ type frame struct {
 	addr    string // HELLO (sender's broker), MOVING (new reader host)
 }
 
-// writeFrame encodes f onto w. Callers serialize writes per connection
-// direction.
-func writeFrame(w io.Writer, f frame) error {
-	var hdr []byte
-	hdr = append(hdr, f.kind)
+// encodeFrame appends f's wire encoding — except a DATA payload, which
+// follows separately — to dst and returns it.
+func encodeFrame(dst []byte, f frame) ([]byte, error) {
+	dst = append(dst, f.kind)
 	switch f.kind {
 	case frameData:
 		if len(f.payload) > maxFramePayload {
-			return fmt.Errorf("netio: frame payload %d too large", len(f.payload))
+			return nil, fmt.Errorf("netio: frame payload %d too large", len(f.payload))
 		}
-		hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(f.payload)))
-		if _, err := w.Write(hdr); err != nil {
-			return err
-		}
-		_, err := w.Write(f.payload)
-		return err
+		return binary.BigEndian.AppendUint32(dst, uint32(len(f.payload))), nil
 	case frameEOF, frameCloseRead, frameFence, frameBeat, frameBye:
-		_, err := w.Write(hdr)
-		return err
+		return dst, nil
 	case frameAck:
-		hdr = binary.BigEndian.AppendUint32(hdr, uint32(f.ack))
-		_, err := w.Write(hdr)
-		return err
+		return binary.BigEndian.AppendUint32(dst, uint32(f.ack)), nil
 	case frameResume:
-		hdr = binary.BigEndian.AppendUint64(hdr, f.off)
-		_, err := w.Write(hdr)
-		return err
+		return binary.BigEndian.AppendUint64(dst, f.off), nil
 	case frameRedirect:
-		hdr = appendString(hdr, f.token)
-		_, err := w.Write(hdr)
-		return err
+		return appendString(dst, f.token), nil
 	case frameHello, frameMoving:
-		hdr = appendString(hdr, f.token)
-		hdr = appendString(hdr, f.addr)
-		_, err := w.Write(hdr)
-		return err
+		dst = appendString(dst, f.token)
+		return appendString(dst, f.addr), nil
 	default:
-		return fmt.Errorf("netio: unknown frame kind %q", f.kind)
+		return nil, fmt.Errorf("netio: unknown frame kind %q", f.kind)
 	}
 }
 
-// readFrame decodes one frame from r.
+// writeFrame encodes f onto w. Callers serialize writes per connection
+// direction. Per-connection loops should prefer writeFrameBuf with a
+// reusable scratch buffer (this convenience form allocates the header).
+func writeFrame(w io.Writer, f frame) error {
+	return writeFrameBuf(w, f, nil)
+}
+
+// writeFrameBuf is writeFrame with a caller-provided header scratch, so
+// hot loops pay no per-frame header allocation. DATA frames issue two
+// writes here; the outbound link's data path instead uses the chunk
+// buffer's reserved headroom to leave in a single write.
+func writeFrameBuf(w io.Writer, f frame, scratch []byte) error {
+	hdr, err := encodeFrame(scratch[:0], f)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if f.kind == frameData && len(f.payload) > 0 {
+		_, err = w.Write(f.payload)
+	}
+	return err
+}
+
+// readFrame decodes one frame from r. Per-connection loops should
+// prefer readFrameInto with a reusable scratch buffer.
 func readFrame(r io.Reader) (frame, error) {
-	var kind [1]byte
-	if _, err := io.ReadFull(r, kind[:]); err != nil {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto decodes one frame from r, using scratch for the fixed
+// header fields and — when it fits — for the DATA payload, which then
+// aliases scratch[frameHdrLen:]. A session loop that fully consumes
+// each frame before reading the next (the inbound link writes the
+// payload into the local pipe, which copies) therefore reads an entire
+// stream with zero per-frame allocations.
+func readFrameInto(r io.Reader, scratch []byte) (frame, error) {
+	if len(scratch) < 9 {
+		scratch = make([]byte, 16)
+	}
+	if _, err := io.ReadFull(r, scratch[:1]); err != nil {
 		return frame{}, err
 	}
-	f := frame{kind: kind[0]}
+	f := frame{kind: scratch[0]}
 	switch f.kind {
 	case frameData:
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(r, scratch[1:5]); err != nil {
 			return frame{}, unexpected(err)
 		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
+		n := int(binary.BigEndian.Uint32(scratch[1:5]))
 		if n > maxFramePayload {
 			return frame{}, errBadFrame
 		}
-		f.payload = make([]byte, n)
+		if n <= len(scratch)-frameHdrLen {
+			f.payload = scratch[frameHdrLen : frameHdrLen+n]
+		} else {
+			f.payload = make([]byte, n)
+		}
 		if _, err := io.ReadFull(r, f.payload); err != nil {
 			return frame{}, unexpected(err)
 		}
 	case frameEOF, frameCloseRead, frameFence, frameBeat, frameBye:
 	case frameAck:
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(r, scratch[1:5]); err != nil {
 			return frame{}, unexpected(err)
 		}
-		f.ack = int(binary.BigEndian.Uint32(lenBuf[:]))
+		f.ack = int(binary.BigEndian.Uint32(scratch[1:5]))
 	case frameResume:
-		var offBuf [8]byte
-		if _, err := io.ReadFull(r, offBuf[:]); err != nil {
+		if _, err := io.ReadFull(r, scratch[1:9]); err != nil {
 			return frame{}, unexpected(err)
 		}
-		f.off = binary.BigEndian.Uint64(offBuf[:])
+		f.off = binary.BigEndian.Uint64(scratch[1:9])
 	case frameRedirect:
 		tok, err := readString(r)
 		if err != nil {

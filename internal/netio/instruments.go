@@ -37,17 +37,18 @@ func frameKindName(kind byte) string {
 // whole bundle is swapped atomically by SetObs, so the hot paths load
 // one pointer and never race with re-instrumentation.
 type brokerInstruments struct {
-	bytesIn       *obs.Counter
-	bytesOut      *obs.Counter
-	framesIn      map[byte]*obs.Counter
-	framesOut     map[byte]*obs.Counter
-	frameUnknown  *obs.Counter
-	creditStalls  *obs.Counter
-	linkRetries   *obs.Counter
-	heartbeatMiss *obs.Counter
-	partitionHeal *obs.Counter
-	linkFailures  *obs.Counter
-	tracer        *obs.Tracer
+	bytesIn         *obs.Counter
+	bytesOut        *obs.Counter
+	framesIn        map[byte]*obs.Counter
+	framesOut       map[byte]*obs.Counter
+	frameUnknown    *obs.Counter
+	creditStalls    *obs.Counter
+	framesCoalesced *obs.Counter
+	linkRetries     *obs.Counter
+	heartbeatMiss   *obs.Counter
+	partitionHeal   *obs.Counter
+	linkFailures    *obs.Counter
+	tracer          *obs.Tracer
 }
 
 // newBrokerInstruments creates the broker metric family in the scope's
@@ -57,21 +58,23 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 	reg.Help("dpn_broker_bytes_total", "Channel-link bytes through the broker, by dir (in|out).")
 	reg.Help("dpn_broker_frames_total", "Protocol frames through the broker, by kind and dir (in|out).")
 	reg.Help("dpn_broker_credit_stalls_total", "Times an outbound link waited for flow-control credit.")
+	reg.Help("dpn_link_frames_coalesced_total", "Queued outbound data chunks merged into an earlier frame instead of sent separately.")
 	reg.Help("dpn_link_retries_total", "Link reconnect attempts that failed and backed off.")
 	reg.Help("dpn_link_heartbeat_miss_total", "Bounded link reads that timed out waiting for the peer.")
 	reg.Help("dpn_link_partition_heal_total", "Successful link reconnects after an outage.")
 	reg.Help("dpn_link_failures_total", "Links that exhausted their outage deadline and degraded.")
 	ins := &brokerInstruments{
-		bytesIn:       reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
-		bytesOut:      reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
-		framesIn:      make(map[byte]*obs.Counter, len(frameKinds)),
-		framesOut:     make(map[byte]*obs.Counter, len(frameKinds)),
-		creditStalls:  reg.Counter("dpn_broker_credit_stalls_total"),
-		linkRetries:   reg.Counter("dpn_link_retries_total"),
-		heartbeatMiss: reg.Counter("dpn_link_heartbeat_miss_total"),
-		partitionHeal: reg.Counter("dpn_link_partition_heal_total"),
-		linkFailures:  reg.Counter("dpn_link_failures_total"),
-		tracer:        s.Tracer(),
+		bytesIn:         reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
+		bytesOut:        reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
+		framesIn:        make(map[byte]*obs.Counter, len(frameKinds)),
+		framesOut:       make(map[byte]*obs.Counter, len(frameKinds)),
+		creditStalls:    reg.Counter("dpn_broker_credit_stalls_total"),
+		framesCoalesced: reg.Counter("dpn_link_frames_coalesced_total"),
+		linkRetries:     reg.Counter("dpn_link_retries_total"),
+		heartbeatMiss:   reg.Counter("dpn_link_heartbeat_miss_total"),
+		partitionHeal:   reg.Counter("dpn_link_partition_heal_total"),
+		linkFailures:    reg.Counter("dpn_link_failures_total"),
+		tracer:          s.Tracer(),
 	}
 	for _, fk := range frameKinds {
 		ins.framesIn[fk.kind] = reg.Counter("dpn_broker_frames_total",
@@ -142,4 +145,10 @@ func (b *Broker) noteLink(event string) {
 // noteCreditStall counts one flow-control wait on an outbound link.
 func (b *Broker) noteCreditStall() {
 	b.ins.Load().creditStalls.Inc()
+}
+
+// noteCoalesced counts one queued data chunk merged into the frame
+// ahead of it on an outbound link.
+func (b *Broker) noteCoalesced() {
+	b.ins.Load().framesCoalesced.Inc()
 }

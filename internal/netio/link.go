@@ -1,6 +1,7 @@
 package netio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -11,8 +12,47 @@ import (
 	"time"
 )
 
-// chunkSize is the outbound link's read granularity.
+// chunkSize is the outbound link's base read granularity.
 const chunkSize = 32 * 1024
+
+// coalesceMax caps an outbound DATA frame's payload at a multiple of
+// chunkSize. The source reader pulls up to this much per pipe read, and
+// the sender merges chunks already queued behind it up to the same cap
+// — natural coalescing that never waits for more data, so latency and
+// determinacy are untouched (only the frame count changes).
+const coalesceMax = 4 * chunkSize
+
+// chunkPool recycles outbound chunk buffers and inbound frame scratch.
+// Each buffer reserves frameHdrLen bytes of headroom before the data
+// region so a DATA frame header can be written immediately before the
+// payload and the whole frame leaves in a single write.
+var chunkPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, frameHdrLen+coalesceMax)
+		return &b
+	},
+}
+
+func getChunkBuf() *[]byte  { return chunkPool.Get().(*[]byte) }
+func putChunkBuf(b *[]byte) { chunkPool.Put(b) }
+
+// outChunk is one run of source bytes staged for the wire. data aliases
+// (*orig)[start:], where orig is a pooled buffer with at least
+// frameHdrLen bytes of headroom before start. The buffer returns to the
+// pool when the chunk is sent (resilient links: when it is fully
+// acknowledged, since unacked chunks may be replayed).
+type outChunk struct {
+	data  []byte
+	start int     // offset of data[0] within *orig; always >= frameHdrLen
+	orig  *[]byte // pooled backing buffer
+}
+
+func (c *outChunk) release() {
+	if c.orig != nil {
+		putChunkBuf(c.orig)
+	}
+	*c = outChunk{}
+}
 
 // DefaultWindow is the flow-control window used when a link is created
 // with a non-positive window: the sender keeps at most this many
@@ -204,16 +244,34 @@ func (b *Broker) ServeOutbound(token string, src io.ReadCloser, window int) (*Ha
 
 func (b *Broker) newOutbound(h *Handle, src io.ReadCloser, window int, serve bool, addr, token string) *outboundLink {
 	res := b.resilience()
+	w := normWindow(window)
 	return &outboundLink{
 		h:         h,
 		src:       src,
-		window:    normWindow(window),
+		window:    w,
+		frameMax:  normFrameMax(w),
 		res:       res,
 		rng:       newLinkRNG(res),
 		serveRole: serve,
 		dialAddr:  addr,
 		token:     token,
 	}
+}
+
+// normFrameMax bounds one DATA frame's payload: coalescing may batch
+// up to coalesceMax, but never more than the credit window — a single
+// frame past the window would defeat the in-flight bound the window
+// exists for. The chunkSize floor preserves the historical one-chunk
+// slack for windows smaller than a chunk.
+func normFrameMax(window int) int {
+	fm := coalesceMax
+	if window < fm {
+		fm = window
+	}
+	if fm < chunkSize {
+		fm = chunkSize
+	}
+	return fm
 }
 
 func normWindow(w int) int {
@@ -361,10 +419,11 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 }
 
 // sentChunk is one unacknowledged DATA payload retained for replay,
-// keyed by its logical stream offset.
+// keyed by its logical stream offset. It keeps the chunk's pooled
+// backing buffer alive until the receiver confirms delivery.
 type sentChunk struct {
-	off  uint64
-	data []byte
+	off uint64
+	c   outChunk
 }
 
 // outboundLink pumps a local byte source to the remote reader host,
@@ -381,11 +440,15 @@ type outboundLink struct {
 	redirectToken string
 
 	window   int
+	frameMax int // per-frame payload cap; see normFrameMax
 	inFlight int
 
-	chunks     chan []byte
+	chunks     chan outChunk
 	srcErr     error
 	readerOnce sync.Once
+
+	// session-owned scratch: frame header staging for control writes.
+	hdr [16]byte
 
 	// resilient state; untouched when res == nil. All fields below are
 	// owned by the run goroutine.
@@ -397,8 +460,9 @@ type outboundLink struct {
 	sendOff   uint64 // logical stream offset after the last sent chunk
 	ackOff    uint64 // offset the receiver has confirmed delivered
 	unacked   []sentChunk
-	pending   []byte // chunk taken from the source but not yet sent
-	finishing bool   // source exhausted; terminal frame in progress
+	pending   outChunk // chunk taken from the source but not yet sent
+	next      outChunk // drained chunk that did not fit the coalesce cap
+	finishing bool     // source exhausted; terminal frame in progress
 }
 
 func (o *outboundLink) setRedirect(token string) {
@@ -418,18 +482,25 @@ func (o *outboundLink) finalFrame() frame {
 
 // startReader launches the goroutine that reads the source into the
 // chunk channel. It survives connection swaps (MOVING and reconnects).
+// Each read pulls up to coalesceMax bytes straight into a pooled
+// buffer (with header headroom), so a fast producer's bytes already
+// arrive batched and no copy or per-chunk allocation happens.
 func (o *outboundLink) startReader() {
 	o.readerOnce.Do(func() {
-		o.chunks = make(chan []byte)
+		o.chunks = make(chan outChunk)
 		go func() {
 			defer close(o.chunks)
-			buf := make([]byte, chunkSize)
 			for {
-				n, err := o.src.Read(buf)
+				bp := getChunkBuf()
+				n, err := o.src.Read((*bp)[frameHdrLen : frameHdrLen+o.frameMax])
 				if n > 0 {
-					c := make([]byte, n)
-					copy(c, buf[:n])
-					o.chunks <- c
+					o.chunks <- outChunk{
+						data:  (*bp)[frameHdrLen : frameHdrLen+n],
+						start: frameHdrLen,
+						orig:  bp,
+					}
+				} else {
+					putChunkBuf(bp)
 				}
 				if err != nil {
 					if err != io.EOF {
@@ -450,7 +521,65 @@ func (o *outboundLink) writeLink(conn net.Conn, f frame) error {
 		conn.SetWriteDeadline(time.Now().Add(o.res.MissDeadline))
 		defer conn.SetWriteDeadline(time.Time{})
 	}
-	return writeFrame(conn, f)
+	return writeFrameBuf(conn, f, o.hdr[:])
+}
+
+// writeData writes one DATA frame as a single conn.Write: the header
+// lands in the chunk buffer's reserved headroom directly before the
+// payload, so there is no second syscall and no torn frame boundary
+// between header and payload.
+func (o *outboundLink) writeData(conn net.Conn, c outChunk) error {
+	if c.orig == nil || c.start < frameHdrLen {
+		return o.writeLink(conn, frame{kind: frameData, payload: c.data})
+	}
+	if o.res != nil {
+		conn.SetWriteDeadline(time.Now().Add(o.res.MissDeadline))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	full := (*c.orig)[c.start-frameHdrLen : c.start+len(c.data)]
+	full[0] = frameData
+	binary.BigEndian.PutUint32(full[1:frameHdrLen], uint32(len(c.data)))
+	_, err := conn.Write(full)
+	return err
+}
+
+// coalesce merges chunks already queued behind o.pending into its
+// buffer, up to the coalesceMax cap, without ever waiting: only a
+// reader goroutine currently parked on the unbuffered channel can hand
+// a chunk over. A chunk that does not fit is parked in o.next for the
+// following frame. Merged chunk buffers return to the pool
+// immediately.
+func (o *outboundLink) coalesce() {
+	if o.pending.orig == nil {
+		return
+	}
+	for {
+		room := o.frameMax - len(o.pending.data)
+		if avail := len(*o.pending.orig) - (o.pending.start + len(o.pending.data)); avail < room {
+			room = avail
+		}
+		if room <= 0 {
+			return
+		}
+		select {
+		case c, ok := <-o.chunks:
+			if !ok {
+				o.finishing = true
+				return
+			}
+			if len(c.data) > room {
+				o.next = c
+				return
+			}
+			tail := o.pending.start + len(o.pending.data)
+			copy((*o.pending.orig)[tail:], c.data)
+			o.pending.data = (*o.pending.orig)[o.pending.start : tail+len(c.data)]
+			c.release()
+			o.h.b.noteCoalesced()
+		default:
+			return
+		}
+	}
 }
 
 // redial runs the initial-dial retry loop for DialOutbound when the
@@ -485,22 +614,37 @@ const (
 )
 
 // trimUnacked drops (or slices) retained chunks the receiver has
-// confirmed up to off.
+// confirmed up to off. Fully confirmed chunks return their pooled
+// buffer; a partially confirmed chunk keeps its buffer (the remaining
+// bytes may be replayed) and its headroom invariant (start only grows).
 func (o *outboundLink) trimUnacked(off uint64) {
 	for len(o.unacked) > 0 {
-		c := o.unacked[0]
-		end := c.off + uint64(len(c.data))
+		sc := o.unacked[0]
+		end := sc.off + uint64(len(sc.c.data))
 		if end <= off {
+			sc.c.release()
+			o.unacked[0] = sentChunk{}
 			o.unacked = o.unacked[1:]
 			continue
 		}
-		if c.off < off {
-			c.data = c.data[off-c.off:]
-			c.off = off
-			o.unacked[0] = c
+		if sc.off < off {
+			delta := int(off - sc.off)
+			sc.c.data = sc.c.data[delta:]
+			sc.c.start += delta
+			sc.off = off
+			o.unacked[0] = sc
 		}
 		return
 	}
+}
+
+// dropUnacked abandons the replay buffer (stream offsets rebase, e.g.
+// after a MOVING fence) and returns its pooled buffers.
+func (o *outboundLink) dropUnacked() {
+	for i := range o.unacked {
+		o.unacked[i].c.release()
+	}
+	o.unacked = nil
 }
 
 // handleCtrl processes one control event. On ctrlMoved the connection
@@ -552,7 +696,8 @@ func (o *outboundLink) handleCtrl(ev ctrlEvent, conn net.Conn) (ctrlOutcome, net
 		halfCloseWrite(conn)
 		conn.Close()
 		o.inFlight = 0
-		o.sendOff, o.ackOff, o.unacked = 0, 0, nil
+		o.dropUnacked()
+		o.sendOff, o.ackOff = 0, 0
 		o.serveRole = false
 		o.dialAddr = ev.f.addr
 		o.token = ev.f.token
@@ -649,11 +794,11 @@ func (o *outboundLink) resync(conn net.Conn) bool {
 	}
 	o.ackOff = off
 	o.trimUnacked(off)
-	for _, c := range o.unacked {
-		if err := o.writeLink(conn, frame{kind: frameData, payload: c.data}); err != nil {
+	for _, sc := range o.unacked {
+		if err := o.writeData(conn, sc.c); err != nil {
 			return false
 		}
-		o.h.b.noteFrame(frameData, true, len(c.data))
+		o.h.b.noteFrame(frameData, true, len(sc.c.data))
 	}
 	o.inFlight = int(o.sendOff - o.ackOff)
 	return true
@@ -682,43 +827,51 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 		beat = t.C
 	}
 	for {
-		if o.finishing {
+		// The terminal frame waits until every staged chunk (pending and
+		// the coalesce overflow slot) has been sent.
+		if o.finishing && o.pending.data == nil && o.next.data == nil {
 			res, next := o.finishStream(conn, ctrl, beat)
 			return res, next, progressed
 		}
-		if o.pending == nil {
-			select {
-			case chunk, ok := <-o.chunks:
-				if !ok {
-					o.finishing = true
+		if o.pending.data == nil {
+			if o.next.data != nil {
+				o.pending, o.next = o.next, outChunk{}
+				o.coalesce()
+			} else {
+				select {
+				case chunk, ok := <-o.chunks:
+					if !ok {
+						o.finishing = true
+						continue
+					}
+					o.pending = chunk
+					o.coalesce()
+				case ev := <-ctrl:
+					switch out, next := o.handleCtrl(ev, conn); out {
+					case ctrlStop:
+						return sessDone, nil, progressed
+					case ctrlFailed:
+						return sessFailed, nil, progressed
+					case ctrlMoved:
+						return sessMoved, next, progressed
+					}
+					continue
+				case <-beat:
+					if err := o.writeLink(conn, frame{kind: frameBeat}); err != nil {
+						conn.Close()
+						return sessFailed, nil, progressed
+					}
+					o.h.b.noteFrame(frameBeat, true, 0)
 					continue
 				}
-				o.pending = chunk
-			case ev := <-ctrl:
-				switch out, next := o.handleCtrl(ev, conn); out {
-				case ctrlStop:
-					return sessDone, nil, progressed
-				case ctrlFailed:
-					return sessFailed, nil, progressed
-				case ctrlMoved:
-					return sessMoved, next, progressed
-				}
-				continue
-			case <-beat:
-				if err := o.writeLink(conn, frame{kind: frameBeat}); err != nil {
-					conn.Close()
-					return sessFailed, nil, progressed
-				}
-				o.h.b.noteFrame(frameBeat, true, 0)
-				continue
 			}
 		}
 		// Flow control: wait for credit before sending, so the
 		// receiving pipe's capacity bounds the channel end to end.
-		if o.window > 0 && o.inFlight > 0 && o.inFlight+len(o.pending) > o.window {
+		if o.window > 0 && o.inFlight > 0 && o.inFlight+len(o.pending.data) > o.window {
 			o.h.b.noteCreditStall()
 		}
-		for o.window > 0 && o.inFlight > 0 && o.inFlight+len(o.pending) > o.window {
+		for o.window > 0 && o.inFlight > 0 && o.inFlight+len(o.pending.data) > o.window {
 			select {
 			case ev := <-ctrl:
 				switch out, next := o.handleCtrl(ev, conn); out {
@@ -738,7 +891,7 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 			}
 		}
 		chunk := o.pending
-		if err := o.writeLink(conn, frame{kind: frameData, payload: chunk}); err != nil {
+		if err := o.writeData(conn, chunk); err != nil {
 			conn.Close()
 			if o.res != nil {
 				return sessFailed, nil, progressed
@@ -747,13 +900,15 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 			o.h.finish(fmt.Errorf("netio: send failed: %w", err))
 			return sessDone, nil, progressed
 		}
-		o.h.b.noteFrame(frameData, true, len(chunk))
-		o.inFlight += len(chunk)
+		o.h.b.noteFrame(frameData, true, len(chunk.data))
+		o.inFlight += len(chunk.data)
 		if o.res != nil {
-			o.unacked = append(o.unacked, sentChunk{off: o.sendOff, data: chunk})
-			o.sendOff += uint64(len(chunk))
+			o.unacked = append(o.unacked, sentChunk{off: o.sendOff, c: chunk})
+			o.sendOff += uint64(len(chunk.data))
+		} else {
+			chunk.release()
 		}
-		o.pending = nil
+		o.pending = outChunk{}
 	}
 }
 
@@ -825,11 +980,12 @@ func (o *outboundLink) finishStream(conn net.Conn, ctrl chan ctrlEvent, beat <-c
 // channel (sessFailed, sessMoved) would otherwise strand this goroutine
 // behind a full buffer for the process lifetime.
 func readCtrl(conn net.Conn, ctrl chan<- ctrlEvent, quit <-chan struct{}, res *Resilience) {
+	scratch := make([]byte, 16)
 	for {
 		if res != nil {
 			conn.SetReadDeadline(time.Now().Add(res.MissDeadline))
 		}
-		f, err := readFrame(conn)
+		f, err := readFrameInto(conn, scratch)
 		if err != nil {
 			select {
 			case ctrl <- ctrlEvent{err: err}:
@@ -868,6 +1024,9 @@ type inboundLink struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	moving bool
+
+	// hdr stages control-frame headers; guarded by mu (ctrlWrite).
+	hdr [16]byte
 
 	// resilient state; owned by the run goroutine.
 	res       *Resilience
@@ -908,7 +1067,7 @@ func (i *inboundLink) ctrlWrite(conn net.Conn, f frame) error {
 		conn.SetWriteDeadline(time.Now().Add(i.res.MissDeadline))
 		defer conn.SetWriteDeadline(time.Time{})
 	}
-	return writeFrame(conn, f)
+	return writeFrameBuf(conn, f, i.hdr[:])
 }
 
 // beatLoop heartbeats the control direction so the sender's bounded
@@ -990,11 +1149,16 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 		defer close(stop)
 		go i.beatLoop(conn, stop)
 	}
+	// One pooled buffer serves every frame of the session: the payload
+	// is copied into the local pipe before the next read, so the frame
+	// reader can alias its scratch instead of allocating per frame.
+	scratch := getChunkBuf()
+	defer putChunkBuf(scratch)
 	for {
 		if i.res != nil {
 			conn.SetReadDeadline(time.Now().Add(i.res.MissDeadline))
 		}
-		f, err := readFrame(conn)
+		f, err := readFrameInto(conn, *scratch)
 		if err != nil {
 			i.mu.Lock()
 			moving := i.moving

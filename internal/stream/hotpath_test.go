@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestGrowRacingReadWrite grows the pipe repeatedly while a producer
+// and a consumer are moving a known byte sequence through it. Capacity
+// growth mid-transfer must not drop, duplicate, or reorder bytes.
+// Run under -race this also checks the lock discipline of Grow against
+// the wake-avoidance fast paths.
+func TestGrowRacingReadWrite(t *testing.T) {
+	const total = 1 << 20
+	p := NewPipe(64)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 997) // prime-ish, misaligned with capacities
+		seq := byte(0)
+		sent := 0
+		for sent < total {
+			n := len(buf)
+			if total-sent < n {
+				n = total - sent
+			}
+			for i := 0; i < n; i++ {
+				buf[i] = seq
+				seq++
+			}
+			if _, err := p.Write(buf[:n]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			sent += n
+		}
+		p.CloseWrite()
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		caps := []int{128, 256, 1024, 4096, 65536}
+		for _, c := range caps {
+			p.Grow(c)
+		}
+	}()
+
+	got := make([]byte, 0, total)
+	buf := make([]byte, 1031)
+	for {
+		n, err := p.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	wg.Wait()
+	if len(got) != total {
+		t.Fatalf("got %d bytes, want %d", len(got), total)
+	}
+	seq := byte(0)
+	for i, b := range got {
+		if b != seq {
+			t.Fatalf("byte %d: got %d, want %d (stream corrupted by Grow)", i, b, seq)
+		}
+		seq++
+	}
+}
+
+// TestWriteVecSingleElement checks that a multi-part element written
+// with WriteVec arrives contiguously and in order, including when the
+// element must block across a full buffer.
+func TestWriteVecSingleElement(t *testing.T) {
+	p := NewPipe(8) // smaller than the element: WriteVec must block mid-element
+	hdr := []byte{0, 0, 0, 12}
+	payload := []byte("hello, world")
+
+	done := make(chan error, 1)
+	go func() {
+		n, err := p.WriteVec(hdr, payload)
+		if err == nil && n != len(hdr)+len(payload) {
+			t.Errorf("WriteVec wrote %d, want %d", n, len(hdr)+len(payload))
+		}
+		done <- err
+	}()
+
+	got := make([]byte, 0, 16)
+	buf := make([]byte, 4)
+	for len(got) < len(hdr)+len(payload) {
+		n, err := p.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("WriteVec: %v", err)
+	}
+	want := append(append([]byte{}, hdr...), payload...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestWriteVecPoisoned checks the cascading-close rule holds on the
+// vectored path: after CloseRead, WriteVec fails with ErrReadClosed.
+func TestWriteVecPoisoned(t *testing.T) {
+	p := NewPipe(16)
+	p.CloseRead()
+	if _, err := p.WriteVec([]byte{1}, []byte{2}); err != ErrReadClosed {
+		t.Fatalf("got %v, want ErrReadClosed", err)
+	}
+}
+
+// TestManyWritersManyReadersLiveness exercises the Signal-based wakeups
+// with several producers and consumers on one pipe: the baton-passing
+// chain (each woken party signals the next when work remains) must not
+// strand a blocked goroutine. A lost wakeup shows up as a hang; the
+// byte count checks no data is lost.
+func TestManyWritersManyReadersLiveness(t *testing.T) {
+	const (
+		writers  = 4
+		readers  = 4
+		perWrite = 64
+		rounds   = 500
+	)
+	p := NewPipe(128) // small: constant blocking on both sides
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, perWrite)
+			for i := 0; i < rounds; i++ {
+				if _, err := p.Write(buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		p.CloseWrite()
+	}()
+
+	var mu sync.Mutex
+	received := 0
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			buf := make([]byte, 96)
+			for {
+				n, err := p.Read(buf)
+				mu.Lock()
+				received += n
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	if want := writers * perWrite * rounds; received != want {
+		t.Fatalf("received %d bytes, want %d", received, want)
+	}
+}
+
+// countingWriteCloser counts underlying Write calls; it does not
+// implement VecWriter, so SwitchWriter.WriteVec must fall back to a
+// single joined write.
+type countingWriteCloser struct {
+	bytes.Buffer
+	writes int
+}
+
+func (c *countingWriteCloser) Write(b []byte) (int, error) {
+	c.writes++
+	return c.Buffer.Write(b)
+}
+
+func (c *countingWriteCloser) Close() error { return nil }
+
+// TestSwitchWriterVecFallbackIsOneWrite checks that a multi-part
+// element forwarded to a non-vectored sink still reaches it as exactly
+// one write — the property that prevents torn elements on migrated
+// (network) transports.
+func TestSwitchWriterVecFallbackIsOneWrite(t *testing.T) {
+	sink := &countingWriteCloser{}
+	sw := NewSwitchWriter(sink)
+	if _, err := sw.WriteVec([]byte{0, 0, 0, 3}, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if sink.writes != 1 {
+		t.Fatalf("non-vec sink saw %d writes for one element, want 1", sink.writes)
+	}
+	if got := sink.Buffer.Bytes(); !bytes.Equal(got, []byte{0, 0, 0, 3, 'a', 'b', 'c'}) {
+		t.Fatalf("sink got %v", got)
+	}
+}
+
+// TestSequenceReaderBuffered checks the batch-drain bound: a pipe
+// source reports its buffered bytes, an opaque source reports zero.
+func TestSequenceReaderBuffered(t *testing.T) {
+	p := NewPipe(64)
+	p.Write([]byte{1, 2, 3})
+	s := NewSequenceReader(p.ReadEnd())
+	if got := s.Buffered(); got != 3 {
+		t.Fatalf("Buffered() = %d, want 3", got)
+	}
+	opaque := io.NopCloser(bytes.NewReader([]byte{9, 9}))
+	s2 := NewSequenceReader(opaque)
+	if got := s2.Buffered(); got != 0 {
+		t.Fatalf("opaque source Buffered() = %d, want 0", got)
+	}
+}

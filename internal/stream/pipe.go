@@ -143,6 +143,13 @@ func (p *Pipe) Len() int {
 	return p.n
 }
 
+// Buffered reports the number of buffered, unconsumed bytes. It is the
+// BufferedReader-facing alias of Len: batch decoders use it to size a
+// drain that is guaranteed not to block and not to leave partially
+// consumed state behind (migration safety: everything taken from the
+// pipe in one call is fully converted before the call returns).
+func (p *Pipe) Buffered() int { return p.Len() }
+
 // Full reports whether the buffer is at capacity.
 func (p *Pipe) Full() bool {
 	p.mu.Lock()
@@ -239,15 +246,17 @@ func (p *Pipe) Snapshot() []byte {
 // on a full buffer are woken. It is used when migrating a channel.
 func (p *Pipe) Drain() []byte {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make([]byte, p.n)
 	p.copyOut(out)
 	p.n = 0
 	p.r = 0
-	p.ins.noteRead(len(out), 0)
 	p.canWrit.Broadcast()
-	if p.observer != nil {
-		p.observer.PipeEvent(p)
+	ins := p.ins
+	o := p.observer
+	p.mu.Unlock()
+	ins.noteRead(len(out), 0)
+	if o != nil {
+		o.PipeEvent(p)
 	}
 	return out
 }
@@ -258,7 +267,41 @@ func (p *Pipe) Drain() []byte {
 // end is closed it returns ErrWriteClosed.
 func (p *Pipe) Write(b []byte) (int, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	pending := 0
+	written, err := p.writeOne(b, &pending)
+	p.finishWrite(pending)
+	return written, err
+}
+
+// WriteVec appends each buffer of bufs to the pipe in order under a
+// single lock acquisition, blocking while the buffer is full exactly as
+// Write does. A multi-part element (length header + payload) therefore
+// costs one lock round trip and at most one reader wakeup instead of
+// one per part. It returns the total number of bytes written.
+func (p *Pipe) WriteVec(bufs ...[]byte) (int, error) {
+	p.mu.Lock()
+	pending := 0
+	total := 0
+	var err error
+	for _, b := range bufs {
+		var n int
+		n, err = p.writeOne(b, &pending)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	p.finishWrite(pending)
+	return total, err
+}
+
+// writeOne copies b into the ring buffer, blocking while full. The
+// caller must hold p.mu. Bytes copied but not yet reported to the
+// instruments/observer are accumulated into *pending; the caller
+// reports them via finishWrite (or writeOne itself flushes before
+// parking, so the deadlock monitor sees the data movement no later
+// than the blocked transition).
+func (p *Pipe) writeOne(b []byte, pending *int) (int, error) {
 	written := 0
 	for len(b) > 0 {
 		if p.writeClosed {
@@ -268,6 +311,13 @@ func (p *Pipe) Write(b []byte) (int, error) {
 			return written, ErrReadClosed
 		}
 		for p.n == len(p.buf) {
+			if *pending > 0 {
+				p.ins.noteWrite(*pending, p.n)
+				if p.observer != nil {
+					p.observer.PipeEvent(p)
+				}
+				*pending = 0
+			}
 			p.blockedWriters++
 			t0 := p.ins.noteBlock(true)
 			if p.observer != nil {
@@ -300,13 +350,38 @@ func (p *Pipe) Write(b []byte) (int, error) {
 		p.n += len(chunk)
 		b = b[len(chunk):]
 		written += len(chunk)
-		p.ins.noteWrite(len(chunk), p.n)
-		p.canRead.Broadcast()
-		if p.observer != nil {
-			p.observer.PipeEvent(p)
+		*pending += len(chunk)
+		// Wake-avoidance: a reader can only be parked when it found the
+		// buffer empty, so the cond op is skipped entirely unless one is
+		// actually waiting, and Signal (not Broadcast) suffices — a woken
+		// reader drains whatever is available and hands the baton on.
+		if p.blockedReaders > 0 {
+			p.canRead.Signal()
 		}
 	}
 	return written, nil
+}
+
+// finishWrite ends a Write/WriteVec: it hands the baton to another
+// blocked writer if space remains (Signal wakes only one, so liveness
+// with several producers needs the chain), captures the occupancy, and
+// reports the accumulated bytes to the instruments and observer
+// *after* releasing the lock — the observability calls are off the
+// critical section of the data hot path.
+func (p *Pipe) finishWrite(pending int) {
+	if p.blockedWriters > 0 && p.n < len(p.buf) {
+		p.canWrit.Signal()
+	}
+	occ := p.n
+	ins := p.ins
+	o := p.observer
+	p.mu.Unlock()
+	if pending > 0 {
+		ins.noteWrite(pending, occ)
+		if o != nil {
+			o.PipeEvent(p)
+		}
+	}
 }
 
 // Read fills b with up to len(b) buffered bytes, blocking until at least
@@ -318,12 +393,13 @@ func (p *Pipe) Read(b []byte) (int, error) {
 		return 0, nil
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for p.n == 0 {
 		if p.writeClosed {
+			p.mu.Unlock()
 			return 0, io.EOF
 		}
 		if p.readClosed {
+			p.mu.Unlock()
 			return 0, ErrReadClosed
 		}
 		p.blockedReaders++
@@ -351,10 +427,28 @@ func (p *Pipe) Read(b []byte) (int, error) {
 	if p.n == 0 {
 		p.r = 0
 	}
-	p.ins.noteRead(n, p.n)
-	p.canWrit.Broadcast()
-	if p.observer != nil {
-		p.observer.PipeEvent(p)
+	// Wake-avoidance: skip the cond op unless a writer is actually
+	// parked; Signal one — it fills the freed space and finishWrite
+	// chains the baton to the next writer if space remains.
+	if p.blockedWriters > 0 {
+		p.canWrit.Signal()
+	}
+	// Baton for additional readers: Signal wakes only one, so if bytes
+	// remain and another reader is parked, pass the wake along.
+	if p.n > 0 && p.blockedReaders > 0 {
+		p.canRead.Signal()
+	}
+	occ := p.n
+	ins := p.ins
+	o := p.observer
+	p.mu.Unlock()
+	// Observability off the critical section: counters and tracer are
+	// already lock-free, and the generation bump still happens before
+	// this goroutine can possibly park again, which is the ordering the
+	// deadlock monitor's stability test needs.
+	ins.noteRead(n, occ)
+	if o != nil {
+		o.PipeEvent(p)
 	}
 	return n, nil
 }
@@ -409,16 +503,34 @@ func (p *Pipe) WriteClosed() bool {
 	return p.writeClosed
 }
 
+// VecWriter is implemented by sinks that can accept a multi-part
+// element (e.g. length header + payload) atomically with respect to
+// interleaving and at the cost of a single sink operation. The token
+// codec uses it to keep large elements one-write-per-element without
+// staging them through an intermediate copy.
+type VecWriter interface {
+	WriteVec(bufs ...[]byte) (int, error)
+}
+
+// BufferedReader is implemented by sources that can report how many
+// bytes are immediately readable without blocking. Batch decoders use
+// it to bound a non-blocking drain.
+type BufferedReader interface {
+	Buffered() int
+}
+
 // writerEnd adapts the pipe's write half to io.WriteCloser.
 type writerEnd struct{ p *Pipe }
 
-func (w writerEnd) Write(b []byte) (int, error) { return w.p.Write(b) }
-func (w writerEnd) Close() error                { return w.p.CloseWrite() }
+func (w writerEnd) Write(b []byte) (int, error)          { return w.p.Write(b) }
+func (w writerEnd) WriteVec(bufs ...[]byte) (int, error) { return w.p.WriteVec(bufs...) }
+func (w writerEnd) Close() error                         { return w.p.CloseWrite() }
 
 // readerEnd adapts the pipe's read half to io.ReadCloser.
 type readerEnd struct{ p *Pipe }
 
 func (r readerEnd) Read(b []byte) (int, error) { return r.p.Read(b) }
+func (r readerEnd) Buffered() int              { return r.p.Buffered() }
 func (r readerEnd) Close() error               { return r.p.CloseRead() }
 
 // WriteEnd returns the pipe's write half as an io.WriteCloser whose Close

@@ -90,6 +90,23 @@ func (s *SequenceReader) Read(b []byte) (int, error) {
 	}
 }
 
+// Buffered reports how many bytes the current source can deliver
+// without blocking, or 0 when the source does not expose that (network
+// streams, spliced mid-sequence sources). Batch decoders treat 0 as
+// "fall back to the blocking one-element path", so the conservative
+// answer is always safe.
+func (s *SequenceReader) Buffered() int {
+	s.mu.Lock()
+	cur := s.current
+	s.mu.Unlock()
+	// With further sources queued, the current source's count is still a
+	// valid lower bound: those bytes are deliverable before any switch.
+	if br, ok := cur.(BufferedReader); ok {
+		return br.Buffered()
+	}
+	return 0
+}
+
 // Retarget replaces the current source and clears the queue, closing the
 // displaced sources. It is used when a channel's transport is swapped
 // wholesale (local pipe replaced by a network stream during migration).

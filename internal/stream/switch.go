@@ -39,6 +39,40 @@ func (s *SwitchWriter) Write(b []byte) (int, error) {
 	return w.Write(b)
 }
 
+// WriteVec forwards a multi-part element to the current sink. When the
+// sink implements VecWriter (the local pipe does) the parts land under
+// one sink operation; otherwise they are written sequentially to the
+// same sink — the sink is resolved once, so a concurrent Retarget can
+// never split an element across transports.
+func (s *SwitchWriter) WriteVec(bufs ...[]byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrWriteClosed
+	}
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
+		return 0, ErrWriteClosed
+	}
+	if vw, ok := w.(VecWriter); ok {
+		return vw.WriteVec(bufs...)
+	}
+	// Non-vectored sink: join the parts so the element still reaches the
+	// sink as a single operation (a mid-element failure must never leave
+	// a torn element on a network transport). This path only runs for
+	// multi-part elements on a migrated (non-pipe) transport.
+	joined := 0
+	for _, b := range bufs {
+		joined += len(b)
+	}
+	tmp := make([]byte, 0, joined)
+	for _, b := range bufs {
+		tmp = append(tmp, b...)
+	}
+	return w.Write(tmp)
+}
+
 // Retarget swaps the sink. The previous sink is returned (not closed):
 // the migration machinery usually still needs it, for example to pump
 // residual pipe contents to the network.

@@ -25,19 +25,34 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // MaxBlockSize bounds the length prefix of blocks and objects to guard
 // against corrupted streams.
 const MaxBlockSize = 1 << 26 // 64 MiB
 
+// stageMax bounds the reusable staging buffer a Writer or Reader holds
+// on to between calls. Elements larger than this either go through the
+// sink's vectored write path or a transient buffer — a single huge
+// block must not pin memory for the lifetime of the codec.
+const stageMax = 64 * 1024
+
+// poolBufMax bounds the capacity of gob scratch buffers returned to the
+// shared pools; oversized one-off encodings are dropped instead of
+// pinned.
+const poolBufMax = 1 << 20
+
 // Reader decodes typed elements from a byte stream. Every method blocks
 // until the full element has arrived, preserving Kahn blocking-read
 // semantics at element granularity.
 type Reader struct {
 	r       io.Reader
+	br      bufferedReader
 	noter   tokenNoter
+	batch   tokenBatchNoter
 	scratch [8]byte
+	stage   []byte
 }
 
 // tokenNoter is implemented by channel ports (core.ReadPort and
@@ -46,10 +61,26 @@ type Reader struct {
 // granularity on top of the byte counters.
 type tokenNoter interface{ NoteToken() }
 
+// tokenBatchNoter is the batched form: one call records k elements, so
+// a batch transfer costs one counter operation instead of k.
+type tokenBatchNoter interface{ NoteTokens(k int) }
+
+// vecWriter matches stream.VecWriter structurally: sinks that accept a
+// multi-part element as one operation.
+type vecWriter interface {
+	WriteVec(bufs ...[]byte) (int, error)
+}
+
+// bufferedReader matches stream.BufferedReader structurally: sources
+// that report how many bytes are readable without blocking.
+type bufferedReader interface{ Buffered() int }
+
 // NewReader returns a typed reader over r.
 func NewReader(r io.Reader) *Reader {
 	d := &Reader{r: r}
+	d.br, _ = r.(bufferedReader)
 	d.noter, _ = r.(tokenNoter)
+	d.batch, _ = r.(tokenBatchNoter)
 	return d
 }
 
@@ -60,6 +91,53 @@ func (d *Reader) note() {
 	if d.noter != nil {
 		d.noter.NoteToken()
 	}
+}
+
+// noteN records k decoded elements in one counter operation when the
+// source supports it.
+func (d *Reader) noteN(k int) {
+	if d.batch != nil {
+		d.batch.NoteTokens(k)
+		return
+	}
+	if d.noter != nil {
+		for i := 0; i < k; i++ {
+			d.noter.NoteToken()
+		}
+	}
+}
+
+// stageBuf returns a buffer of exactly n bytes, reusing the Reader's
+// staging buffer when n is within stageMax and allocating a transient
+// one otherwise.
+func (d *Reader) stageBuf(n int) []byte {
+	if n > stageMax {
+		return make([]byte, n)
+	}
+	if cap(d.stage) < n {
+		d.stage = make([]byte, n, stageMax)
+	}
+	return d.stage[:n]
+}
+
+// drainable reports how many further fixed-width elements of size w can
+// be read right now without blocking, capped at max and at the staging
+// buffer size. Only bytes already buffered in the source are counted,
+// so a batch read never retains partially consumed state — everything
+// it takes is fully converted before the call returns (the property
+// channel migration relies on).
+func (d *Reader) drainable(max, w int) int {
+	if d.br == nil || max <= 0 {
+		return 0
+	}
+	k := d.br.Buffered() / w
+	if k > max {
+		k = max
+	}
+	if k*w > stageMax {
+		k = stageMax / w
+	}
+	return k
 }
 
 // ReadInt64 reads one big-endian int64 element.
@@ -92,6 +170,62 @@ func (d *Reader) ReadFloat64() (float64, error) {
 	return math.Float64frombits(u), err
 }
 
+// ReadInt64s reads between 1 and len(dst) int64 elements into dst and
+// returns how many it read. The first element is read with the usual
+// blocking semantics (Kahn's blocking-read rule); additional elements
+// are taken only if their bytes are already buffered in the source, so
+// the call never blocks waiting to fill dst. The element values and
+// order are exactly those of repeated ReadInt64 calls — only the
+// per-call batching varies with buffering, like io.Reader short reads.
+func (d *Reader) ReadInt64s(dst []int64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if _, err := io.ReadFull(d.r, d.scratch[:8]); err != nil {
+		return 0, noUnexpected(err)
+	}
+	dst[0] = int64(binary.BigEndian.Uint64(d.scratch[:8]))
+	n := 1
+	if k := d.drainable(len(dst)-1, 8); k > 0 {
+		st := d.stageBuf(k * 8)
+		if _, err := io.ReadFull(d.r, st); err != nil {
+			d.noteN(n)
+			return n, corrupt(err)
+		}
+		for i := 0; i < k; i++ {
+			dst[n+i] = int64(binary.BigEndian.Uint64(st[i*8:]))
+		}
+		n += k
+	}
+	d.noteN(n)
+	return n, nil
+}
+
+// ReadFloat64s is ReadInt64s for float64 elements.
+func (d *Reader) ReadFloat64s(dst []float64) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if _, err := io.ReadFull(d.r, d.scratch[:8]); err != nil {
+		return 0, noUnexpected(err)
+	}
+	dst[0] = math.Float64frombits(binary.BigEndian.Uint64(d.scratch[:8]))
+	n := 1
+	if k := d.drainable(len(dst)-1, 8); k > 0 {
+		st := d.stageBuf(k * 8)
+		if _, err := io.ReadFull(d.r, st); err != nil {
+			d.noteN(n)
+			return n, corrupt(err)
+		}
+		for i := 0; i < k; i++ {
+			dst[n+i] = math.Float64frombits(binary.BigEndian.Uint64(st[i*8:]))
+		}
+		n += k
+	}
+	d.noteN(n)
+	return n, nil
+}
+
 // ReadBool reads one boolean element (a single byte; nonzero is true).
 func (d *Reader) ReadBool() (bool, error) {
 	if _, err := io.ReadFull(d.r, d.scratch[:1]); err != nil {
@@ -110,16 +244,35 @@ func (d *Reader) ReadByte() (byte, error) {
 	return d.scratch[0], nil
 }
 
-// ReadBlock reads one length-prefixed byte block.
+// ReadBlock reads one length-prefixed byte block into a freshly
+// allocated slice the caller owns. Loops that can recycle a buffer
+// should use ReadBlockBuf instead.
 func (d *Reader) ReadBlock() ([]byte, error) {
+	return d.ReadBlockBuf(nil)
+}
+
+// ReadBlockBuf reads one length-prefixed byte block, reusing dst's
+// capacity when it suffices and allocating otherwise. It returns the
+// block aliased into (or replacing) dst, so a decode loop amortizes the
+// per-block allocation to zero:
+//
+//	var buf []byte
+//	for {
+//		buf, err = r.ReadBlockBuf(buf)
+//		...
+//	}
+func (d *Reader) ReadBlockBuf(dst []byte) ([]byte, error) {
 	if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
 		return nil, noUnexpected(err)
 	}
-	n := binary.BigEndian.Uint32(d.scratch[:4])
+	n := int(binary.BigEndian.Uint32(d.scratch[:4]))
 	if n > MaxBlockSize {
 		return nil, fmt.Errorf("token: block of %d bytes exceeds limit", n)
 	}
-	b := make([]byte, n)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	b := dst[:n]
 	if _, err := io.ReadFull(d.r, b); err != nil {
 		return nil, corrupt(err)
 	}
@@ -127,14 +280,45 @@ func (d *Reader) ReadBlock() ([]byte, error) {
 	return b, nil
 }
 
+// objScratch is the pooled per-decode machinery of ReadObject: the
+// block buffer and the bytes.Reader the gob decoder drains. The gob
+// decoder itself is deliberately NOT pooled — every element must be a
+// self-contained gob message (see the package comment), and a reused
+// decoder would carry type state across elements.
+type objScratch struct {
+	buf []byte
+	rd  bytes.Reader
+}
+
+var objPool = sync.Pool{New: func() any { return new(objScratch) }}
+
 // ReadObject reads one gob-encoded object into v (a non-nil pointer).
 // The element must have been written by Writer.WriteObject.
 func (d *Reader) ReadObject(v any) error {
-	b, err := d.ReadBlock()
-	if err != nil {
-		return err
+	if _, err := io.ReadFull(d.r, d.scratch[:4]); err != nil {
+		return noUnexpected(err)
 	}
-	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+	n := int(binary.BigEndian.Uint32(d.scratch[:4]))
+	if n > MaxBlockSize {
+		return fmt.Errorf("token: block of %d bytes exceeds limit", n)
+	}
+	sc := objPool.Get().(*objScratch)
+	if cap(sc.buf) < n {
+		sc.buf = make([]byte, n)
+	}
+	b := sc.buf[:n]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		objPool.Put(sc)
+		return corrupt(err)
+	}
+	d.note()
+	sc.rd.Reset(b)
+	err := gob.NewDecoder(&sc.rd).Decode(v)
+	sc.rd.Reset(nil)
+	if cap(sc.buf) <= poolBufMax {
+		objPool.Put(sc)
+	}
+	return err
 }
 
 // ReadString reads one length-prefixed UTF-8 string element.
@@ -157,17 +341,26 @@ func corrupt(err error) error {
 	return err
 }
 
-// Writer encodes typed elements onto a byte stream.
+// Writer encodes typed elements onto a byte stream. Every element —
+// fixed-width, block, string, or object — reaches the sink as exactly
+// one underlying write: multi-part elements are staged into a reusable
+// buffer (or handed to the sink's vectored write), so a failure between
+// sink operations can never leave a torn element on a transport.
 type Writer struct {
 	w       io.Writer
+	vw      vecWriter
 	noter   tokenNoter
+	batch   tokenBatchNoter
 	scratch [8]byte
+	stage   []byte
 }
 
 // NewWriter returns a typed writer over w.
 func NewWriter(w io.Writer) *Writer {
 	e := &Writer{w: w}
+	e.vw, _ = w.(vecWriter)
 	e.noter, _ = w.(tokenNoter)
+	e.batch, _ = w.(tokenBatchNoter)
 	return e
 }
 
@@ -178,6 +371,33 @@ func (e *Writer) note(err error) error {
 		e.noter.NoteToken()
 	}
 	return err
+}
+
+// noteN records k encoded elements in one counter operation when the
+// sink supports it.
+func (e *Writer) noteN(k int) {
+	if e.batch != nil {
+		e.batch.NoteTokens(k)
+		return
+	}
+	if e.noter != nil {
+		for i := 0; i < k; i++ {
+			e.noter.NoteToken()
+		}
+	}
+}
+
+// stageBuf returns a buffer of exactly n bytes, reusing the Writer's
+// staging buffer when n is within stageMax and allocating a transient
+// one otherwise.
+func (e *Writer) stageBuf(n int) []byte {
+	if n > stageMax {
+		return make([]byte, n)
+	}
+	if cap(e.stage) < n {
+		e.stage = make([]byte, n, stageMax)
+	}
+	return e.stage[:n]
 }
 
 // WriteInt64 writes one big-endian int64 element.
@@ -219,36 +439,111 @@ func (e *Writer) WriteByte(b byte) error {
 	return e.note(err)
 }
 
-// WriteBlock writes one length-prefixed byte block.
+// WriteInt64s writes the elements of vs in order, staging runs of them
+// into single sink writes. Observable semantics match a loop of
+// WriteInt64 calls; only the write (and wakeup) count differs.
+func (e *Writer) WriteInt64s(vs []int64) error {
+	for len(vs) > 0 {
+		k := len(vs)
+		if k*8 > stageMax {
+			k = stageMax / 8
+		}
+		st := e.stageBuf(k * 8)
+		for i, v := range vs[:k] {
+			binary.BigEndian.PutUint64(st[i*8:], uint64(v))
+		}
+		if _, err := e.w.Write(st); err != nil {
+			return err
+		}
+		e.noteN(k)
+		vs = vs[k:]
+	}
+	return nil
+}
+
+// WriteFloat64s is WriteInt64s for float64 elements.
+func (e *Writer) WriteFloat64s(vs []float64) error {
+	for len(vs) > 0 {
+		k := len(vs)
+		if k*8 > stageMax {
+			k = stageMax / 8
+		}
+		st := e.stageBuf(k * 8)
+		for i, v := range vs[:k] {
+			binary.BigEndian.PutUint64(st[i*8:], math.Float64bits(v))
+		}
+		if _, err := e.w.Write(st); err != nil {
+			return err
+		}
+		e.noteN(k)
+		vs = vs[k:]
+	}
+	return nil
+}
+
+// WriteBlock writes one length-prefixed byte block as a single sink
+// write: small blocks are staged (header + payload) into the reusable
+// buffer; large blocks go through the sink's vectored write when it has
+// one, avoiding the copy, and are staged transiently otherwise.
 func (e *Writer) WriteBlock(b []byte) error {
 	if len(b) > MaxBlockSize {
 		return fmt.Errorf("token: block of %d bytes exceeds limit", len(b))
 	}
-	binary.BigEndian.PutUint32(e.scratch[:4], uint32(len(b)))
-	if _, err := e.w.Write(e.scratch[:4]); err != nil {
-		return err
+	if len(b)+4 > stageMax && e.vw != nil {
+		binary.BigEndian.PutUint32(e.scratch[:4], uint32(len(b)))
+		_, err := e.vw.WriteVec(e.scratch[:4], b)
+		return e.note(err)
 	}
-	_, err := e.w.Write(b)
+	st := e.stageBuf(len(b) + 4)
+	binary.BigEndian.PutUint32(st, uint32(len(b)))
+	copy(st[4:], b)
+	_, err := e.w.Write(st)
 	return e.note(err)
 }
 
+// encPad reserves the length prefix at the front of a pooled encode
+// buffer so header and gob payload leave in one write.
+var encPad [4]byte
+
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // WriteObject writes v as one self-contained gob message (see the
-// package comment for why each element is independently encoded).
+// package comment for why each element is independently encoded). The
+// encode buffer is pooled and the length prefix is backfilled in place,
+// so the element costs one sink write and no per-call buffer
+// allocation.
 func (e *Writer) WriteObject(v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= poolBufMax {
+			encBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write(encPad[:])
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return err
 	}
-	return e.WriteBlock(buf.Bytes())
+	msg := buf.Bytes()
+	n := len(msg) - 4
+	if n > MaxBlockSize {
+		return fmt.Errorf("token: block of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(msg[:4], uint32(n))
+	_, err := e.w.Write(msg)
+	return e.note(err)
 }
 
-// WriteString writes one length-prefixed UTF-8 string element.
+// WriteString writes one length-prefixed UTF-8 string element as a
+// single sink write (see WriteBlock).
 func (e *Writer) WriteString(s string) error {
-	binary.BigEndian.PutUint32(e.scratch[:4], uint32(len(s)))
-	if _, err := e.w.Write(e.scratch[:4]); err != nil {
-		return err
+	if len(s) > MaxBlockSize {
+		return fmt.Errorf("token: block of %d bytes exceeds limit", len(s))
 	}
-	_, err := io.WriteString(e.w, s)
+	st := e.stageBuf(len(s) + 4)
+	binary.BigEndian.PutUint32(st, uint32(len(s)))
+	copy(st[4:], s)
+	_, err := e.w.Write(st)
 	return e.note(err)
 }
 

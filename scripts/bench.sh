@@ -1,0 +1,57 @@
+#!/bin/sh
+# Hot-path benchmark recorder: runs the Pipe/Token/Link micro-suite
+# (bench_hotpath_test.go) with -benchmem -count=3 and writes the best
+# run per benchmark into a BENCH_*.json trajectory file (see
+# EXPERIMENTS.md, "Benchmark trajectory").
+#
+#   scripts/bench.sh              writes BENCH_pr3.json
+#   scripts/bench.sh out.json     writes out.json
+#
+# The JSON is the machine-readable record scripts/check.sh -bench
+# compares fresh runs against, so throughput/allocation regressions on
+# the data plane fail the gate instead of landing silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr3.json}"
+pat='^(BenchmarkPipeWrite|BenchmarkPipeTransfer|BenchmarkPipeInstrumented|BenchmarkToken|BenchmarkLink)'
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+echo "bench: go test -run ^\$ -bench '$pat' -benchmem -count=3 ."
+go test -run '^$' -bench "$pat" -benchmem -count=3 -timeout 30m . | tee "$log"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	ns = ""; mbs = ""; bop = ""; aop = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns  = $(i-1)
+		if ($i == "MB/s")      mbs = $(i-1)
+		if ($i == "B/op")      bop = $(i-1)
+		if ($i == "allocs/op") aop = $(i-1)
+	}
+	if (ns == "") next
+	# keep the best (lowest ns/op) of the -count runs
+	if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) {
+		if (!(name in best_ns)) order[++n] = name
+		best_ns[name] = ns; best_mbs[name] = mbs
+		best_bop[name] = bop; best_aop[name] = aop
+	}
+}
+END {
+	printf "{\n  \"recorded\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n", date, gover
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_op\": %s", name, best_ns[name]
+		if (best_mbs[name] != "") printf ", \"mb_s\": %s", best_mbs[name]
+		if (best_bop[name] != "") printf ", \"b_op\": %s", best_bop[name]
+		if (best_aop[name] != "") printf ", \"allocs_op\": %s", best_aop[name]
+		printf "}%s\n", (i < n ? "," : "")
+	}
+	printf "  }\n}\n"
+}' "$log" > "$out"
+
+echo "bench: wrote $out"

@@ -4,6 +4,11 @@
 # from every process goroutine, so -race is not optional here.
 #
 #   check.sh         vet + build + race-enabled test suite
+#   check.sh -bench  allocation gate: re-runs the two hot-path
+#                    sentinel benchmarks (BenchmarkTokenWriteInt64,
+#                    BenchmarkLinkThroughput) with -benchmem and fails
+#                    if allocs/op regressed against the committed
+#                    baseline (BENCH_pr3.json; see EXPERIMENTS.md).
 #   check.sh -chaos  chaos gate: every test whose name contains
 #                    "Chaos" runs three times under -race with a
 #                    fresh fault schedule each run. On failure the
@@ -14,6 +19,44 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-bench" ]; then
+	base="${2:-BENCH_pr3.json}"
+	if [ ! -f "$base" ]; then
+		echo "bench gate: no baseline $base (run scripts/bench.sh first)"
+		exit 1
+	fi
+	pat='^(BenchmarkTokenWriteInt64|BenchmarkLinkThroughput)$'
+	log=$(mktemp)
+	trap 'rm -f "$log"' EXIT
+	echo "bench gate: go test -run ^\$ -bench '$pat' -benchmem -count=3 ."
+	go test -run '^$' -bench "$pat" -benchmem -count=3 -timeout 30m . | tee "$log"
+	fail=0
+	for name in BenchmarkTokenWriteInt64 BenchmarkLinkThroughput; do
+		want=$(awk -v n="$name" -F'[:,}]' '$0 ~ "\"" n "\"" {
+			for (i = 1; i < NF; i++) if ($i ~ /"allocs_op"/) print $(i+1) + 0
+		}' "$base")
+		if [ -z "$want" ]; then
+			echo "bench gate: $name has no allocs_op in $base"
+			fail=1
+			continue
+		fi
+		got=$(awk -v n="$name" '$1 ~ "^" n "(-[0-9]+)?$" {
+			for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) + 0
+		}' "$log" | sort -n | head -n 1)
+		if [ -z "$got" ]; then
+			echo "bench gate: $name produced no allocs/op line"
+			fail=1
+		elif [ "$got" -gt "$want" ]; then
+			echo "bench gate: $name regressed: $got allocs/op > baseline $want"
+			fail=1
+		else
+			echo "bench gate: $name OK ($got allocs/op, baseline $want)"
+		fi
+	done
+	[ "$fail" -eq 0 ] && echo "bench gate: PASS" || echo "bench gate: FAIL"
+	exit "$fail"
+fi
 
 if [ "${1:-}" = "-chaos" ]; then
 	log=$(mktemp)
