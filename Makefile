@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet bench
+.PHONY: build test check chaos vet bench pool bench-pr4
 
 build:
 	go build ./...
@@ -25,3 +25,15 @@ chaos:
 bench:
 	./scripts/bench.sh
 	./scripts/check.sh -bench
+
+# Elasticity gate alone: pool join/leave/kill, straggler re-dispatch,
+# lane migration, and the Scatter/Gather close semantics under -race;
+# see scripts/check.sh -pool. Part of `make check`.
+pool:
+	./scripts/check.sh -pool
+
+# Re-records the skewed-cluster elasticity trajectory (BENCH_pr4.json):
+# real sleep-worker static vs dynamic vs elastic runs; fails unless the
+# dynamic composition completes at >= 1.3x the static one.
+bench-pr4:
+	./scripts/bench.sh -pr4

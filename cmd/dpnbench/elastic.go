@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpn/internal/cluster"
+	"dpn/internal/core"
+	"dpn/internal/meta"
+)
+
+// pr4Report is the machine-readable record of the skewed-cluster
+// elasticity experiment (BENCH_pr4.json). Times are wall-clock
+// milliseconds of real sleep-worker runs on this machine; the sim_*
+// fields are the discrete-event simulator's prediction for the same
+// shape, for cross-reference.
+type pr4Report struct {
+	Tasks             int64     `json:"tasks"`
+	TaskMS            int64     `json:"task_ms"`
+	Speeds            []float64 `json:"speeds"`
+	StaticMS          float64   `json:"static_ms"`
+	DynamicMS         float64   `json:"dynamic_ms"`
+	ElasticMS         float64   `json:"elastic_ms"`
+	DynamicOverStatic float64   `json:"dynamic_over_static"`
+	ElasticOverStatic float64   `json:"elastic_over_static"`
+	SimStaticMin      float64   `json:"sim_static_min"`
+	SimDynamicMin     float64   `json:"sim_dynamic_min"`
+	SimRatio          float64   `json:"sim_ratio"`
+}
+
+// runPR4 measures static vs dynamic vs elastic load balancing on the
+// skewed synthetic cluster: five sleep-emulated CPUs spanning a 16×
+// speed spread (4, 2, 1, 0.5, 0.25). The static composition is pinned
+// to the 0.25× straggler's lock-step rotation; the dynamic one feeds
+// tasks on demand; the elastic one additionally reshapes the pool
+// mid-run — a second 4× lane joins and the 0.25× straggler is marked
+// lost, its in-flight tasks re-dispatched to surviving lanes.
+func runPR4(jsonOut bool) {
+	speeds := []float64{4, 2, 1, 0.5, 0.25}
+	const tasks = 120
+	const taskMS = 8
+
+	static := runSleepExperiment(true, speeds, tasks, taskMS)
+	dynamic := runSleepExperiment(false, speeds, tasks, taskMS)
+	elastic := runElasticSleepExperiment(speeds, tasks, taskMS)
+
+	cfg := cluster.SkewedConfig()
+	simStatic, err := cluster.Simulate(cfg, cluster.Static, len(speeds))
+	if err != nil {
+		fatal(err)
+	}
+	simDyn, err := cluster.Simulate(cfg, cluster.Dynamic, len(speeds))
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := pr4Report{
+		Tasks:         tasks,
+		TaskMS:        taskMS,
+		Speeds:        speeds,
+		StaticMS:      float64(static.Microseconds()) / 1000,
+		DynamicMS:     float64(dynamic.Microseconds()) / 1000,
+		ElasticMS:     float64(elastic.Microseconds()) / 1000,
+		SimStaticMin:  simStatic.Elapsed,
+		SimDynamicMin: simDyn.Elapsed,
+		SimRatio:      simStatic.Elapsed / simDyn.Elapsed,
+	}
+	rep.DynamicOverStatic = rep.StaticMS / rep.DynamicMS
+	rep.ElasticOverStatic = rep.StaticMS / rep.ElasticMS
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Skewed-cluster elasticity (%d tasks x %dms, speeds %v)\n", tasks, taskMS, speeds)
+	fmt.Printf("  static:  %8.1f ms  (simulator predicts %.1f)\n", rep.StaticMS, simStatic.Elapsed)
+	fmt.Printf("  dynamic: %8.1f ms  (simulator predicts %.1f)   %.2fx static\n",
+		rep.DynamicMS, simDyn.Elapsed, rep.DynamicOverStatic)
+	fmt.Printf("  elastic: %8.1f ms  (join 4x lane + lose straggler mid-run)   %.2fx static\n",
+		rep.ElasticMS, rep.ElasticOverStatic)
+}
+
+// runElasticSleepExperiment runs the sleep workload through the elastic
+// pool. A quarter of the way through the result stream a second 4×
+// lane joins and the 0.25× straggler is marked lost; the pool
+// re-dispatches its outstanding tasks, and the merged output stays the
+// determinate task-order sequence.
+func runElasticSleepExperiment(speeds []float64, tasks, taskMS int64) time.Duration {
+	n := core.NewNetwork()
+	src := &sleepSource{total: tasks, micros: taskMS * 1000}
+	e := meta.NewElastic(n, src, 0, 0, meta.PoolConfig{MaxInFlight: 2})
+	laneIDs := make([]int, len(speeds))
+	for i, s := range speeds {
+		speed := s
+		laneIDs[i] = e.Pool.AddLane(fmt.Sprintf("s%g", speed), func(in *core.ReadPort, out *core.WritePort) {
+			n.Spawn(&slowWorker{In: in, Out: out, Speed: speed})
+		})
+	}
+	reshape := make(chan struct{})
+	var once sync.Once
+	var seen atomic.Int64
+	e.Consumer.SetOnResult(func(ran, _ meta.Task) {
+		if seen.Add(1) == tasks/4 {
+			once.Do(func() { close(reshape) })
+		}
+	})
+	slowest := laneIDs[len(laneIDs)-1]
+	go func() {
+		<-reshape
+		e.Pool.AddLane("joiner4x", func(in *core.ReadPort, out *core.WritePort) {
+			n.Spawn(&slowWorker{In: in, Out: out, Speed: 4})
+		})
+		e.Pool.MarkLost(slowest)
+	}()
+	start := time.Now()
+	e.Spawn(n)
+	if err := n.Wait(); err != nil {
+		fatal(err)
+	}
+	once.Do(func() { close(reshape) })
+	return time.Since(start)
+}

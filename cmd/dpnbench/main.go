@@ -38,6 +38,8 @@ func main() {
 		overhead = flag.Bool("overhead", false, "measure real process-network overhead at one worker")
 		seqReal  = flag.Bool("seqreal", false, "run a real scaled-down sequential factorization")
 		valSim   = flag.Bool("validate-sim", false, "cross-validate the simulator against the real runtime with sleep-emulated heterogeneous workers")
+		pr4      = flag.Bool("pr4", false, "skewed-cluster elasticity experiment: static vs dynamic vs elastic with sleep-emulated workers")
+		jsonOut  = flag.Bool("json", false, "with -pr4, emit the report as JSON")
 		csv      = flag.Bool("csv", false, "emit the figure series as CSV instead of text")
 		all      = flag.Bool("all", false, "run everything")
 		bits     = flag.Int("bits", 512, "prime size for the real experiments (the paper uses 512)")
@@ -45,7 +47,7 @@ func main() {
 		batch    = flag.Int64("batch", 2048, "difference values per task (heavier than the paper's 32 so per-task compute dominates on modern hardware)")
 	)
 	flag.Parse()
-	if !(*table1 || *table2 || *fig19 || *fig20 || *overhead || *seqReal || *valSim || *csv) {
+	if !(*table1 || *table2 || *fig19 || *fig20 || *overhead || *seqReal || *valSim || *pr4 || *csv) {
 		*all = true
 	}
 	cfg := cluster.PaperConfig()
@@ -87,6 +89,10 @@ func main() {
 	}
 	if *all || *valSim {
 		runSimValidation()
+		fmt.Println()
+	}
+	if *all || *pr4 {
+		runPR4(*jsonOut)
 	}
 }
 

@@ -90,6 +90,32 @@ func PaperConfig() Config {
 	}
 }
 
+// SkewedConfig returns a deliberately skewed synthetic cluster for the
+// elasticity experiments: five single-CPU speed classes spanning a 16×
+// spread (4, 2, 1, 0.5, 0.25 relative to the reference class). With
+// one CPU per class the static scheme's lock-step rotation is pinned to
+// the 0.25× straggler while the on-demand scheme lets the 4× CPU race
+// ahead — the widest static-vs-dynamic gap the five-class shape can
+// express, which is what the dpnbench skewed-cluster scenario measures
+// against real sleep-workers.
+func SkewedConfig() Config {
+	ref := 20.0
+	return Config{
+		Classes: []Class{
+			{Name: "S4", SeqTime: ref / 4, Count: 1, Desc: "4× reference"},
+			{Name: "S2", SeqTime: ref / 2, Count: 1, Desc: "2× reference"},
+			{Name: "S1", SeqTime: ref, Count: 1, Desc: "reference"},
+			{Name: "S05", SeqTime: ref / 0.5, Count: 1, Desc: "0.5× reference"},
+			{Name: "S025", SeqTime: ref / 0.25, Count: 1, Desc: "0.25× straggler"},
+		},
+		RefSeqTime:        ref,
+		TotalTasks:        512,
+		CommFactorDynamic: 0.065,
+		CommFactorStatic:  0.045,
+		StartupPerWorker:  0.0028,
+	}
+}
+
 // WorkerSpeeds lists the speeds of the first n workers, allocated
 // fastest-first as in the paper ("CPUs in the fastest categories are
 // used first").

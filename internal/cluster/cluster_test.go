@@ -273,3 +273,32 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("unknown policy accepted")
 	}
 }
+
+// TestSkewedConfigDynamicBeatsStatic pins the acceptance criterion of
+// the elasticity experiments on the simulator: on the skewed synthetic
+// cluster (five single-CPU classes, 16× speed spread) the on-demand
+// scheme must reach at least 1.3× the completion-time efficiency of
+// static Scatter/Gather.
+func TestSkewedConfigDynamicBeatsStatic(t *testing.T) {
+	cfg := SkewedConfig()
+	if got := cfg.MaxWorkers(); got != 5 {
+		t.Fatalf("MaxWorkers = %d, want 5", got)
+	}
+	st, err := Simulate(cfg, Static, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Simulate(cfg, Dynamic, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := st.Elapsed / dyn.Elapsed
+	t.Logf("static %.2f min, dynamic %.2f min, ratio %.2f", st.Elapsed, dyn.Elapsed, ratio)
+	if ratio < 1.3 {
+		t.Fatalf("dynamic/static efficiency ratio %.2f < 1.3", ratio)
+	}
+	// Sanity: the on-demand counts must be skewed toward the fast CPUs.
+	if dyn.TasksPerWorker[0] <= dyn.TasksPerWorker[4] {
+		t.Fatalf("fastest worker ran %d tasks, straggler %d", dyn.TasksPerWorker[0], dyn.TasksPerWorker[4])
+	}
+}

@@ -120,6 +120,21 @@ func NewCoordinator(peers ...Peer) *Coordinator {
 	}
 }
 
+// Subscribe adds f as an additional event observer, chaining after any
+// hook already installed in OnEvent — so the elastic pool's peer-lost
+// listener, a test probe, and an operator alert can all watch the same
+// coordinator. Subscribe must be called before Start (the hook chain is
+// not synchronized against a running detection loop).
+func (c *Coordinator) Subscribe(f func(Event)) {
+	prev := c.OnEvent
+	c.OnEvent = func(ev Event) {
+		if prev != nil {
+			prev(ev)
+		}
+		f(ev)
+	}
+}
+
 // Resolutions counts the artificial deadlocks resolved so far.
 func (c *Coordinator) Resolutions() int { return int(c.resolutions.Load()) }
 

@@ -261,3 +261,63 @@ func TestCoordinatorBackgroundLoop(t *testing.T) {
 	c.Stop()
 	c.Stop() // idempotent
 }
+
+func TestSubscribeChainsObservers(t *testing.T) {
+	ok := &fakePeer{status: NodeStatus{Live: 1, Blocked: 0}}
+	down := &fakePeer{err: errors.New("peer down")}
+	c := quietCoordinator(ok, down)
+	c.PeerFailureLimit = 2
+	var mu sync.Mutex
+	var order []string
+	c.OnEvent = func(ev Event) {
+		mu.Lock()
+		order = append(order, "legacy:"+ev.Status.String())
+		mu.Unlock()
+	}
+	c.Subscribe(func(ev Event) {
+		mu.Lock()
+		order = append(order, "pool:"+ev.Status.String())
+		mu.Unlock()
+	})
+	c.Subscribe(func(ev Event) {
+		mu.Lock()
+		order = append(order, "alert:"+ev.Status.String())
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		c.Check()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"legacy:peer-lost", "pool:peer-lost", "alert:peer-lost"}
+	if len(order) != len(want) {
+		t.Fatalf("observers saw %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("observers saw %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSubscribeWithoutLegacyHook(t *testing.T) {
+	down := &fakePeer{err: errors.New("peer down")}
+	c := quietCoordinator(down)
+	c.PeerFailureLimit = 1
+	got := make(chan Event, 1)
+	c.Subscribe(func(ev Event) {
+		select {
+		case got <- ev:
+		default:
+		}
+	})
+	c.Check()
+	select {
+	case ev := <-got:
+		if ev.Status != StatusPeerLost {
+			t.Fatalf("event = %v, want StatusPeerLost", ev.Status)
+		}
+	default:
+		t.Fatal("subscriber saw no event")
+	}
+}

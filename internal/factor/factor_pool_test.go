@@ -1,0 +1,60 @@
+package factor
+
+import (
+	"testing"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/meta"
+)
+
+// TestFactorThroughElasticPool runs the paper's factorization workload
+// through the elastic pool while the lane set churns — a worker joins
+// and another is retired mid-search — and checks the pool finds the
+// same factor as the sequential baseline. The terminal Result also
+// exercises the early-stop path through the pool: the consumer closes
+// its input, the pool's output write fails, and the whole composition
+// cascades closed.
+func TestFactorThroughElasticPool(t *testing.T) {
+	const target, batch = 9, 8
+	k, err := GenerateWeakKey(testRand(), 96, target, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, _, err := RunSequential(&SearchSpace{N: k.N, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := core.NewNetwork()
+	e := meta.NewElastic(n, &SearchSpace{N: k.N, Batch: batch}, 2, 0, meta.PoolConfig{})
+	var found *Result
+	e.Consumer.SetOnResult(func(ran, result meta.Task) {
+		if r, ok := ran.(*Result); ok && r.Found && found == nil {
+			found = r
+		}
+	})
+	e.Spawn(n)
+	go func() {
+		id, _ := e.Pool.AddWorker("joiner")
+		time.Sleep(time.Millisecond)
+		e.Pool.Retire(id)
+		e.Pool.AddWorker("joiner2")
+	}()
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("elastic factorization did not terminate")
+	}
+	if found == nil {
+		t.Fatal("pool did not find the factor")
+	}
+	if found.P.Cmp(seqRes.P) != 0 || found.D != seqRes.D {
+		t.Fatalf("pool found %v, sequential found %v", found, seqRes)
+	}
+}

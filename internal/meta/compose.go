@@ -69,6 +69,48 @@ func NewStatic(n *core.Network, source Task, workers, capacity int) *Static {
 	return st
 }
 
+// Elastic describes the runtime-resizable composition: the Pool plays
+// the roles of Direct, Turnstile and Select at once, over a lane set
+// that can grow and shrink while the run is in flight (Pool.AddWorker,
+// Pool.Retire, Pool.MarkLost). Its merged output is byte-identical to
+// the Dynamic and Static compositions' (§5 determinacy, preserved by
+// the pool's sequence-ordered merge).
+type Elastic struct {
+	Producer *Producer
+	Pool     *Pool
+	Consumer *Consumer
+}
+
+// Spawn starts every process in the composition.
+func (e *Elastic) Spawn(n *core.Network) {
+	n.Spawn(e.Producer)
+	n.Spawn(e.Pool)
+	n.Spawn(e.Consumer)
+}
+
+// NewElastic builds (without spawning) the elastic composition with the
+// given initial worker count — zero is legal: the pool waits for a lane
+// to join. cfg.In/cfg.Out are wired by NewElastic; the remaining fields
+// (MaxInFlight, StragglerDeadline, IdleFail) parameterize scheduling.
+func NewElastic(n *core.Network, source Task, workers, capacity int, cfg PoolConfig) *Elastic {
+	pw := n.NewChannel("tasks", capacity)   // producer → pool intake
+	sc := n.NewChannel("ordered", capacity) // pool merge → consumer
+	cfg.In = pw.Reader()
+	cfg.Out = sc.Writer()
+	if cfg.Capacity == 0 {
+		cfg.Capacity = capacity
+	}
+	e := &Elastic{
+		Producer: &Producer{Source: source, Out: pw.Writer()},
+		Pool:     NewPool(n, cfg),
+		Consumer: &Consumer{In: sc.Reader()},
+	}
+	for i := 0; i < workers; i++ {
+		e.Pool.AddWorker(fmt.Sprintf("w%d", i))
+	}
+	return e
+}
+
 // Dynamic describes the dynamically balanced composition of Figures 17
 // and 18: Direct distributes a new task to a worker for every result
 // collected from that worker; the indexed merge (Turnstile + Select)

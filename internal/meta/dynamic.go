@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"io"
 	"sync"
 
 	"dpn/internal/core"
@@ -31,14 +32,17 @@ func (d *Direct) Step(env *core.Env) error {
 		return err
 	}
 	if idx < 0 || int(idx) >= len(d.Outs) {
-		return errBadIndex(idx)
+		// A retired or out-of-range worker index: the index stream no
+		// longer matches the lane set (a worker was killed, or a stale
+		// index survived a pool resize). Failing hard here used to strand
+		// every buffered token in the graph; instead degrade into a clean
+		// cascading close (§3.4) — the ports close, the producer observes
+		// ErrReadClosed, the workers drain out, and the Select emits what
+		// was actually computed.
+		return io.EOF
 	}
 	return token.NewWriter(d.Outs[idx]).WriteBlock(b)
 }
-
-type errBadIndex int64
-
-func (e errBadIndex) Error() string { return "meta: index out of range" }
 
 // Turnstile forwards result blocks from its inputs in the order they
 // become available (Figure 18). Each result is written to Out as an

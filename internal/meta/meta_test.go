@@ -2,6 +2,7 @@ package meta
 
 import (
 	"encoding/gob"
+	"io"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -387,19 +388,69 @@ func TestNewDynamicPanicsOnZeroWorkers(t *testing.T) {
 	NewDynamic(core.NewNetwork(), &rangeSource{}, 0, 0)
 }
 
-func TestDirectBadIndexFails(t *testing.T) {
+// TestDirectBadIndexDegradesCleanly checks that a retired or
+// out-of-range worker index reaching Direct closes the composition
+// cleanly instead of failing the process and stranding buffered tokens.
+func TestDirectBadIndexDegradesCleanly(t *testing.T) {
 	n := core.NewNetwork()
 	tasks := n.NewChannel("t", 0)
 	idx := n.NewChannel("i", 0)
 	out := n.NewChannel("o", 0)
 	go func() {
-		token.NewWriter(idx.Writer()).WriteInt64(7) // out of range
+		w := token.NewWriter(idx.Writer())
+		w.WriteInt64(0) // valid lane: the first block flows through
+		w.WriteInt64(7) // out of range: a stale index after a resize
 		token.NewWriter(tasks.Writer()).WriteBlock([]byte{1})
+		token.NewWriter(tasks.Writer()).WriteBlock([]byte{2})
 	}()
 	n.Spawn(&Direct{In: tasks.Reader(), Index: idx.Reader(), Outs: []*core.WritePort{out.Writer()}})
-	if err := n.Wait(); err == nil {
-		t.Fatal("bad index accepted")
+	r := token.NewReader(out.Reader())
+	b, err := r.ReadBlock()
+	if err != nil || len(b) != 1 || b[0] != 1 {
+		t.Fatalf("first block = %v, %v", b, err)
 	}
+	if _, err := r.ReadBlock(); err != io.EOF {
+		t.Fatalf("after bad index: err = %v, want io.EOF (clean cascade)", err)
+	}
+	if err := n.Wait(); err != nil {
+		t.Fatalf("bad index must degrade cleanly, got %v", err)
+	}
+}
+
+// TestDynamicWorkerKilledMidStream kills one worker lane mid-run and
+// checks the composition tears down cleanly — no hard error — and that
+// the results delivered before the kill form an exact prefix of the
+// reference output (determinacy of what was emitted).
+func TestDynamicWorkerKilledMidStream(t *testing.T) {
+	const tasks = 200
+	n := core.NewNetwork()
+	dyn := NewDynamic(n, &rangeSource{max: tasks, sleepFn: func(int64) time.Duration {
+		return 200 * time.Microsecond
+	}}, 3, 0)
+	got := collectResults(dyn.Consumer)
+	dyn.Spawn(n)
+	// Kill worker 1's input after a few results have flowed: its lane
+	// dies, Direct's next write to it fails, and the cascade must wind
+	// the whole graph down without n.Wait reporting a failure.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		dyn.Workers[1].In.Close()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- n.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker kill must cascade cleanly, got %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("network did not terminate after worker kill")
+	}
+	want := wantSquares(tasks)
+	if len(*got) > tasks {
+		t.Fatalf("emitted %d results, more than %d tasks", len(*got), tasks)
+	}
+	eq(t, *got, want[:len(*got)])
 }
 
 func TestFuncSource(t *testing.T) {

@@ -1,6 +1,7 @@
 package proclib
 
 import (
+	"errors"
 	"io"
 
 	"dpn/internal/core"
@@ -95,23 +96,74 @@ func (m *ModSplit) Step(env *core.Env) error {
 // Scatter distributes length-prefixed blocks from In to its outputs in
 // round-robin order — the static load-balancing distributor of
 // Figure 16: every worker receives the same number of tasks.
+//
+// Two failure modes are handled without poisoning the fan-out. If the
+// input closes mid-block (a torn block: the length prefix or payload is
+// cut short), nothing at all is emitted for the partial block — every
+// downstream sees only whole length-prefixed blocks, because
+// token.ReadBlock refuses to surface a truncated element and
+// token.WriteBlock emits header and payload as one atomic sink write.
+// If one downstream closes early, that lane is retired from the
+// rotation and its block is redelivered to the next live lane; Scatter
+// terminates only when the input ends or every lane is gone.
 type Scatter struct {
 	core.Iterative
 	In   *core.ReadPort
 	Outs []*core.WritePort
 
 	next int
+	done []bool
+	live int
+	buf  []byte
+	init bool
 }
 
 // Step implements core.Stepper.
 func (s *Scatter) Step(env *core.Env) error {
-	b, err := token.NewReader(s.In).ReadBlock()
+	if !s.init {
+		s.done = make([]bool, len(s.Outs))
+		s.live = len(s.Outs)
+		s.init = true
+	}
+	if s.live == 0 {
+		return io.EOF
+	}
+	b, err := token.NewReader(s.In).ReadBlockBuf(s.buf)
 	if err != nil {
+		// Torn block (io.ErrUnexpectedEOF) or end of input: either way
+		// no partial element was surfaced, so nothing is emitted and the
+		// close cascades cleanly (§3.4).
 		return err
 	}
-	out := s.Outs[s.next]
-	s.next = (s.next + 1) % len(s.Outs)
-	return token.NewWriter(out).WriteBlock(b)
+	s.buf = b[:0]
+	for s.live > 0 {
+		for s.done[s.next] {
+			s.next = (s.next + 1) % len(s.Outs)
+		}
+		out := s.Outs[s.next]
+		s.next = (s.next + 1) % len(s.Outs)
+		err := token.NewWriter(out).WriteBlock(b)
+		if err == nil {
+			return nil
+		}
+		if !core.IsTermination(err) {
+			return err
+		}
+		// This lane's consumer is gone: retire it and redeliver the
+		// block to the next live lane.
+		s.retire(out)
+	}
+	return io.EOF // every lane retired with a block in hand
+}
+
+func (s *Scatter) retire(out *core.WritePort) {
+	for i, o := range s.Outs {
+		if o == out && !s.done[i] {
+			s.done[i] = true
+			s.live--
+			o.Close()
+		}
+	}
 }
 
 // Gather collects length-prefixed blocks from its inputs in round-robin
@@ -120,20 +172,49 @@ func (s *Scatter) Step(env *core.Env) error {
 // proceed in lock-step with the slowest one, which is exactly the
 // behaviour the paper's evaluation shows to be wasteful on heterogeneous
 // clusters.
+//
+// An input that ends mid-round is retired from the rotation and the
+// merge continues over the survivors; the close cascades downstream
+// only when every input has ended. (Without this, one early-closing
+// upstream used to tear down the whole merge, stranding the blocks the
+// other lanes were still producing.) A corrupt input — torn mid-block —
+// still fails the merge: retiring it would silently drop data.
 type Gather struct {
 	core.Iterative
 	Ins []*core.ReadPort
 	Out *core.WritePort
 
 	next int
+	done []bool
+	live int
+	init bool
 }
 
-// Step implements core.Stepper.
+// Step implements core.Stepper. Each step forwards one block.
 func (g *Gather) Step(env *core.Env) error {
-	b, err := token.NewReader(g.Ins[g.next]).ReadBlock()
-	if err != nil {
-		return err
+	if !g.init {
+		g.done = make([]bool, len(g.Ins))
+		g.live = len(g.Ins)
+		g.init = true
 	}
-	g.next = (g.next + 1) % len(g.Ins)
-	return token.NewWriter(g.Out).WriteBlock(b)
+	for g.live > 0 {
+		for g.done[g.next] {
+			g.next = (g.next + 1) % len(g.Ins)
+		}
+		in := g.Ins[g.next]
+		b, err := token.NewReader(in).ReadBlock()
+		if err == nil {
+			g.next = (g.next + 1) % len(g.Ins)
+			return token.NewWriter(g.Out).WriteBlock(b)
+		}
+		if !errors.Is(err, io.EOF) {
+			return err // torn block or transport fault: not a clean close
+		}
+		// This lane ended: retire it and keep rotating.
+		g.done[g.next] = true
+		g.live--
+		in.Close()
+		g.next = (g.next + 1) % len(g.Ins)
+	}
+	return io.EOF // all inputs ended; cascade the close
 }

@@ -1,0 +1,200 @@
+package proclib
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"dpn/internal/core"
+	"dpn/internal/token"
+)
+
+// writeBlocks writes the given blocks to w and closes it.
+func writeBlocks(w *core.WritePort, blocks ...[]byte) {
+	tw := token.NewWriter(w)
+	for _, b := range blocks {
+		if err := tw.WriteBlock(b); err != nil {
+			break
+		}
+	}
+	w.Close()
+}
+
+// readAllBlocks drains r, returning every whole block and the error
+// that ended the stream.
+func readAllBlocks(r *core.ReadPort) ([][]byte, error) {
+	tr := token.NewReader(r)
+	var out [][]byte
+	for {
+		b, err := tr.ReadBlock()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, append([]byte(nil), b...))
+	}
+}
+
+func eqBlocks(t *testing.T, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d blocks %q, want %d %q", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("block %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGatherStaggeredClose is the regression for the round-robin stall:
+// inputs that close early mid-round must retire from the rotation while
+// the survivors keep merging; the close cascades only when all inputs
+// have ended. (Previously the first EOF mid-round tore down the whole
+// merge, stranding every block the other lanes still had to deliver.)
+func TestGatherStaggeredClose(t *testing.T) {
+	n := core.NewNetwork()
+	in0 := n.NewChannel("in0", 0)
+	in1 := n.NewChannel("in1", 0)
+	in2 := n.NewChannel("in2", 0)
+	out := n.NewChannel("out", 0)
+	go writeBlocks(in0.Writer(), []byte("a0"))
+	go writeBlocks(in1.Writer(), []byte("b0"), []byte("b1"), []byte("b2"))
+	go writeBlocks(in2.Writer(), []byte("c0"), []byte("c1"), []byte("c2"), []byte("c3"), []byte("c4"))
+	n.Spawn(&Gather{
+		Ins: []*core.ReadPort{in0.Reader(), in1.Reader(), in2.Reader()},
+		Out: out.Writer(),
+	})
+	got, err := readAllBlocks(out.Reader())
+	if err != io.EOF {
+		t.Fatalf("merge ended with %v, want io.EOF", err)
+	}
+	// Round-robin with lanes dropping out as they close.
+	eqBlocks(t, got, [][]byte{
+		[]byte("a0"), []byte("b0"), []byte("c0"), // full round
+		[]byte("b1"), []byte("c1"), // lane 0 retired
+		[]byte("b2"), []byte("c2"),
+		[]byte("c3"), []byte("c4"), // lane 1 retired
+	})
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherAllClosedCascades checks the all-inputs-ended case still
+// cascades a clean close downstream.
+func TestGatherAllClosedCascades(t *testing.T) {
+	n := core.NewNetwork()
+	in0 := n.NewChannel("in0", 0)
+	in1 := n.NewChannel("in1", 0)
+	out := n.NewChannel("out", 0)
+	in0.Writer().Close()
+	in1.Writer().Close()
+	n.Spawn(&Gather{Ins: []*core.ReadPort{in0.Reader(), in1.Reader()}, Out: out.Writer()})
+	got, err := readAllBlocks(out.Reader())
+	if err != io.EOF || len(got) != 0 {
+		t.Fatalf("got %q, %v; want clean empty EOF", got, err)
+	}
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherCorruptInputStopsMerge distinguishes a clean close from a
+// torn block: a lane cut off mid-element is data loss, so the merge
+// must stop rather than silently retire the lane and continue.
+func TestGatherCorruptInputStopsMerge(t *testing.T) {
+	n := core.NewNetwork()
+	in0 := n.NewChannel("in0", 0)
+	in1 := n.NewChannel("in1", 0)
+	out := n.NewChannel("out", 0)
+	go writeBlocks(in0.Writer(), []byte("a0"), []byte("a1"))
+	go func() {
+		w := in1.Writer()
+		w.Write([]byte{0, 0, 0, 9}) // prefix promising 9 bytes...
+		w.Write([]byte("abc"))      // ...but only 3 arrive
+		w.Close()
+	}()
+	n.Spawn(&Gather{Ins: []*core.ReadPort{in0.Reader(), in1.Reader()}, Out: out.Writer()})
+	got, err := readAllBlocks(out.Reader())
+	if err != io.EOF {
+		t.Fatalf("downstream ended with %v", err)
+	}
+	// Only the block read before the tear was forwarded; the corrupt
+	// lane was not retired-and-skipped.
+	eqBlocks(t, got, [][]byte{[]byte("a0")})
+	if err := n.Wait(); err != nil {
+		t.Fatal(err) // cascade shutdown, not a process failure
+	}
+}
+
+// TestScatterTornBlockEmitsNothing is the torn-block regression: when
+// the input closes mid-block, no downstream may see any fragment of the
+// partial block — every output carries only whole length-prefixed
+// blocks.
+func TestScatterTornBlockEmitsNothing(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out0 := n.NewChannel("out0", 0)
+	out1 := n.NewChannel("out1", 0)
+	go func() {
+		w := in.Writer()
+		token.NewWriter(w).WriteBlock([]byte("whole"))
+		w.Write([]byte{0, 0, 0, 200}) // torn: prefix without its payload
+		w.Write([]byte("partial"))
+		w.Close()
+	}()
+	n.Spawn(&Scatter{In: in.Reader(), Outs: []*core.WritePort{out0.Writer(), out1.Writer()}})
+	type res struct {
+		blocks [][]byte
+		err    error
+	}
+	results := make([]res, 2)
+	done := make(chan int, 2)
+	for i, r := range []*core.ReadPort{out0.Reader(), out1.Reader()} {
+		go func(i int, r *core.ReadPort) {
+			b, err := readAllBlocks(r)
+			results[i] = res{b, err}
+			done <- i
+		}(i, r)
+	}
+	<-done
+	<-done
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	eqBlocks(t, results[0].blocks, [][]byte{[]byte("whole")})
+	eqBlocks(t, results[1].blocks, nil)
+	for i, r := range results {
+		if !errors.Is(r.err, io.EOF) {
+			t.Fatalf("downstream %d ended with %v, want clean io.EOF", i, r.err)
+		}
+	}
+}
+
+// TestScatterDeadLaneRedelivery checks that a downstream that closes
+// early is retired from the rotation and its block is redelivered to
+// the next live lane — no task is lost and the fan-out survives.
+func TestScatterDeadLaneRedelivery(t *testing.T) {
+	n := core.NewNetwork()
+	in := n.NewChannel("in", 0)
+	out0 := n.NewChannel("out0", 0)
+	out1 := n.NewChannel("out1", 0)
+	out2 := n.NewChannel("out2", 0)
+	out1.Reader().Close() // lane 1's consumer is already gone
+	go writeBlocks(in.Writer(),
+		[]byte("t0"), []byte("t1"), []byte("t2"), []byte("t3"), []byte("t4"), []byte("t5"))
+	n.Spawn(&Scatter{In: in.Reader(), Outs: []*core.WritePort{out0.Writer(), out1.Writer(), out2.Writer()}})
+	var got0, got2 [][]byte
+	done := make(chan struct{}, 2)
+	go func() { got0, _ = readAllBlocks(out0.Reader()); done <- struct{}{} }()
+	go func() { got2, _ = readAllBlocks(out2.Reader()); done <- struct{}{} }()
+	<-done
+	<-done
+	if err := n.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// t1 hits the dead lane and is redelivered to lane 2; thereafter the
+	// rotation alternates over the two survivors.
+	eqBlocks(t, got0, [][]byte{[]byte("t0"), []byte("t2"), []byte("t4")})
+	eqBlocks(t, got2, [][]byte{[]byte("t1"), []byte("t3"), []byte("t5")})
+}

@@ -6,6 +6,11 @@
 #
 #   scripts/bench.sh              writes BENCH_pr3.json
 #   scripts/bench.sh out.json     writes out.json
+#   scripts/bench.sh -pr4 [out]   skewed-cluster elasticity scenario:
+#                                 real sleep-worker static vs dynamic
+#                                 vs elastic runs, written to
+#                                 BENCH_pr4.json; fails unless dynamic
+#                                 completes at >= 1.3x static.
 #
 # The JSON is the machine-readable record scripts/check.sh -bench
 # compares fresh runs against, so throughput/allocation regressions on
@@ -13,6 +18,20 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-pr4" ]; then
+	out="${2:-BENCH_pr4.json}"
+	echo "bench: go run ./cmd/dpnbench -pr4 -json > $out"
+	go run ./cmd/dpnbench -pr4 -json > "$out"
+	ok=$(awk -F: '/"dynamic_over_static"/ { gsub(/[ ,]/, "", $2); print ($2 + 0 >= 1.3) ? 1 : 0 }' "$out")
+	ratio=$(awk -F: '/"dynamic_over_static"/ { gsub(/[ ,]/, "", $2); print $2 + 0 }' "$out")
+	if [ "$ok" != "1" ]; then
+		echo "bench: FAIL — dynamic_over_static = $ratio < 1.3 in $out"
+		exit 1
+	fi
+	echo "bench: wrote $out (dynamic_over_static = $ratio)"
+	exit 0
+fi
 
 out="${1:-BENCH_pr3.json}"
 pat='^(BenchmarkPipeWrite|BenchmarkPipeTransfer|BenchmarkPipeInstrumented|BenchmarkToken|BenchmarkLink)'

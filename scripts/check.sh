@@ -16,6 +16,10 @@
 #                    the schedule): a second failure is reproducible
 #                    — report it with that seed — while a replay
 #                    pass classifies the original failure as flaky.
+#   check.sh -pool   elasticity gate: the pool/elastic suites (worker
+#                    join/leave/kill, straggler re-dispatch, lane
+#                    migration) plus the hardened Scatter/Gather close
+#                    semantics, all under -race.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -82,9 +86,21 @@ if [ "${1:-}" = "-chaos" ]; then
 	exit 1
 fi
 
+if [ "${1:-}" = "-pool" ]; then
+	pat='(Pool|Elastic|StaggeredClose|TornBlock|DeadLane|GatherAllClosed|GatherCorrupt|DirectBadIndex|WorkerKilled|BatchedRead|BatchedFloat)'
+	echo "pool gate: go test -race -run '$pat' -count=1 ./..."
+	if go test -race -run "$pat" -count=1 ./...; then
+		echo "pool gate: PASS"
+		exit 0
+	fi
+	echo "pool gate: FAIL"
+	exit 1
+fi
+
 set -x
 go vet ./...
 go build ./...
 go test -race ./...
 set +x
+./scripts/check.sh -pool
 ./scripts/check.sh -chaos
