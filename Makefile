@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet bench pool bench-pr4
+.PHONY: build test check chaos vet lint bench pool bench-pr4
 
 build:
 	go build ./...
@@ -8,6 +8,12 @@ test:
 
 vet:
 	go vet ./...
+
+# Static-analysis gate: vet + staticcheck (when installed) + the
+# conduit API style check; see scripts/check.sh -lint. Runs first in
+# `make check`.
+lint:
+	./scripts/check.sh -lint
 
 # The race-enabled gate used before merging; see scripts/check.sh.
 # It ends with the chaos gate, so `make check` covers both.

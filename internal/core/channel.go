@@ -1,19 +1,21 @@
 package core
 
 import (
+	"dpn/internal/conduit"
 	"dpn/internal/obs"
 	"dpn/internal/stream"
 )
 
 // Channel is a first-in first-out queue connecting exactly one producing
-// process to one consuming process. The byte-oriented transport is a
-// bounded in-memory pipe; the two ends are exposed as a WritePort and a
-// ReadPort. Typed data is layered on top by package token, exactly as
-// the Java implementation layers DataOutputStream over
-// ChannelOutputStream (§3.1).
+// process to one consuming process. The byte transport is a conduit: a
+// bounded in-memory buffer whose ends can be rebound to a network
+// transport when the graph is distributed (see package conduit). The
+// two ends are exposed as a WritePort and a ReadPort. Typed data is
+// layered on top by package token, exactly as the Java implementation
+// layers DataOutputStream over ChannelOutputStream (§3.1).
 type Channel struct {
 	name string
-	pipe *stream.Pipe
+	cd   *conduit.Conduit
 	w    *WritePort
 	r    *ReadPort
 	net  *Network
@@ -34,61 +36,24 @@ func NewChannel(name string, capacity int) *Channel {
 }
 
 func newChannel(n *Network, name string, capacity int) *Channel {
-	pipe := stream.NewPipe(capacity)
-	pipe.SetName(name)
-	ch := &Channel{name: name, pipe: pipe, net: n}
+	cd := conduit.New(name, capacity)
+	ch := &Channel{name: name, cd: cd, net: n}
 	ch.w = &WritePort{s: &wstate{
 		name: name + ".w",
-		sw:   stream.NewSwitchWriter(pipe.WriteEnd()),
+		sw:   cd.Entry(),
 		ch:   ch,
 	}}
 	ch.r = &ReadPort{s: &rstate{
 		name: name + ".r",
-		seq:  stream.NewSequenceReader(pipe.ReadEnd()),
+		seq:  cd.Exit(),
 		ch:   ch,
 	}}
 	if n != nil {
-		pipe.SetObserver(n)
-		pipe.SetInstruments(channelInstruments(n.Obs(), name))
-		lbl := obs.L("channel", name)
-		ch.tokensIn = n.Obs().Counter("dpn_channel_tokens_total", lbl, obs.L("op", "write"))
-		ch.tokensOut = n.Obs().Counter("dpn_channel_tokens_total", lbl, obs.L("op", "read"))
+		cd.Instrument(n.Obs(), n)
+		ch.tokensIn, ch.tokensOut = conduit.TokenCounters(n.Obs(), name)
 		n.registerChannel(ch)
 	}
 	return ch
-}
-
-// channelInstruments builds the per-channel pipe instruments in the
-// scope's registry. The metric-name inventory is documented in
-// DESIGN.md ("Observability").
-func channelInstruments(s *obs.Scope, name string) *stream.Instruments {
-	reg := s.Registry()
-	if reg == nil {
-		return nil
-	}
-	reg.Help("dpn_channel_bytes_total", "Bytes moved through the channel pipe, by op (read|write).")
-	reg.Help("dpn_channel_occupancy_bytes", "Bytes currently buffered in the channel pipe.")
-	reg.Help("dpn_channel_occupancy_peak_bytes", "High-water mark of buffered bytes.")
-	reg.Help("dpn_channel_capacity_bytes", "Current pipe capacity (grows on artificial deadlock).")
-	reg.Help("dpn_channel_grows_total", "Capacity growths applied to the channel.")
-	reg.Help("dpn_channel_blocks_total", "Blocking waits on the channel, by op (read|write).")
-	reg.Help("dpn_channel_block_seconds", "Duration of blocking waits, by op (read|write).")
-	reg.Help("dpn_channel_tokens_total", "Typed elements moved through the channel, by op (read|write).")
-	lbl := obs.L("channel", name)
-	return &stream.Instruments{
-		BytesWritten:      reg.Counter("dpn_channel_bytes_total", lbl, obs.L("op", "write")),
-		BytesRead:         reg.Counter("dpn_channel_bytes_total", lbl, obs.L("op", "read")),
-		Occupancy:         reg.Gauge("dpn_channel_occupancy_bytes", lbl),
-		HighWater:         reg.Gauge("dpn_channel_occupancy_peak_bytes", lbl),
-		Capacity:          reg.Gauge("dpn_channel_capacity_bytes", lbl),
-		Grows:             reg.Counter("dpn_channel_grows_total", lbl),
-		ReadBlocks:        reg.Counter("dpn_channel_blocks_total", lbl, obs.L("op", "read")),
-		WriteBlocks:       reg.Counter("dpn_channel_blocks_total", lbl, obs.L("op", "write")),
-		ReadBlockSeconds:  reg.Histogram("dpn_channel_block_seconds", nil, lbl, obs.L("op", "read")),
-		WriteBlockSeconds: reg.Histogram("dpn_channel_block_seconds", nil, lbl, obs.L("op", "write")),
-		Tracer:            s.Tracer(),
-		Name:              name,
-	}
 }
 
 // Name returns the channel's diagnostic name.
@@ -102,7 +67,11 @@ func (c *Channel) Reader() *ReadPort { return c.r }
 
 // Pipe exposes the underlying bounded buffer for capacity management and
 // introspection (deadlock detection, migration).
-func (c *Channel) Pipe() *stream.Pipe { return c.pipe }
+func (c *Channel) Pipe() *stream.Pipe { return c.cd.Buffer() }
+
+// Conduit exposes the channel's full data plane — buffer plus transport
+// binding surface — for the migration machinery (package wire).
+func (c *Channel) Conduit() *conduit.Conduit { return c.cd }
 
 // Network returns the network the channel is registered with, or nil.
 func (c *Channel) Network() *Network { return c.net }

@@ -7,16 +7,18 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
 
+	"dpn/internal/conduit"
 	"dpn/internal/stream"
 )
 
 // ErrDetached is returned by operations on a port whose transport has
-// been handed to another process or to the migration machinery.
-var ErrDetached = errors.New("core: port detached")
+// been handed to another process or to the migration machinery. It is
+// an alias of the sentinel in the conduit layer's consolidated
+// catalogue (internal/conduit/errs.go).
+var ErrDetached = conduit.ErrDetached
 
 // rstate is the shared state behind one or more *ReadPort handles. Ports
 // are a single pointer to their state so that gob decoding can rebind a
@@ -117,7 +119,7 @@ func (p *ReadPort) Buffered() int {
 }
 
 // NoteToken records one typed element consumed through this port; it
-// feeds the dpn_channel_tokens_total counter. Package token calls it
+// feeds the dpn_conduit_tokens_total counter. Package token calls it
 // after each successfully decoded element.
 func (p *ReadPort) NoteToken() {
 	if p.s != nil && p.s.ch != nil {
@@ -212,7 +214,7 @@ func (p *WritePort) RetargetSink(w io.WriteCloser) (io.WriteCloser, error) {
 }
 
 // NoteToken records one typed element produced through this port; it
-// feeds the dpn_channel_tokens_total counter.
+// feeds the dpn_conduit_tokens_total counter.
 func (p *WritePort) NoteToken() {
 	if p.s != nil && p.s.ch != nil {
 		p.s.ch.tokensIn.Inc()
@@ -232,12 +234,7 @@ func (p *WritePort) String() string { return fmt.Sprintf("WritePort(%s)", p.Name
 // conditions that terminate a process normally, mirroring the Java
 // implementation's treatment of IOException in IterativeProcess.run
 // (Figure 4 of the paper): end of input, poisoned output, or a channel
-// torn down mid-element during cascade shutdown.
-func IsTermination(err error) bool {
-	return err != nil && (errors.Is(err, io.EOF) ||
-		errors.Is(err, io.ErrUnexpectedEOF) ||
-		errors.Is(err, stream.ErrReadClosed) ||
-		errors.Is(err, stream.ErrWriteClosed) ||
-		errors.Is(err, io.ErrClosedPipe) ||
-		errors.Is(err, ErrDetached))
-}
+// torn down mid-element during cascade shutdown. The catalogue lives at
+// the conduit layer; this is conduit.IsBenignClose under its historic
+// name.
+func IsTermination(err error) bool { return conduit.IsBenignClose(err) }

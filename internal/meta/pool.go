@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dpn/internal/conduit"
 	"dpn/internal/core"
 	"dpn/internal/obs"
 	"dpn/internal/token"
@@ -128,7 +129,7 @@ type poolLane struct {
 // seqMeta tracks one intaken task until its result is committed.
 type seqMeta struct {
 	block  []byte
-	at     time.Time   // time of latest dispatch
+	at     time.Time    // time of latest dispatch
 	lanes  map[int]bool // lanes currently holding this task
 	queued bool
 }
@@ -392,6 +393,15 @@ func (p *Pool) handleArrival(a poolArrival) {
 		return
 	}
 	if a.err != nil {
+		// Classify the lane's end of stream through the conduit
+		// catalogue: an orderly close (EOF, cascade shutdown) is a
+		// normal leave, anything else — an exhausted link, an injected
+		// fault — is a degrade worth counting separately. Both paths
+		// re-dispatch the lane's outstanding work.
+		if !conduit.IsBenignClose(a.err) {
+			p.scope.Counter("dpn_pool_lane_degraded_total", obs.L("lane", ln.tag)).Inc()
+			p.scope.Record(obs.EvTask, "pool:"+ln.tag, "degraded", int64(a.lane))
+		}
 		p.laneGone(ln)
 		return
 	}
@@ -563,6 +573,7 @@ func (p *Pool) bindObs(env *core.Env) {
 	reg.Help("dpn_pool_redispatch_total", "Tasks re-dispatched, by reason (straggler|lane-dead|lane-retired|lane-lost).")
 	reg.Help("dpn_pool_dup_results_total", "Duplicate or unpaired results dropped by the merge.")
 	reg.Help("dpn_pool_emitted_total", "Results emitted in task order.")
+	reg.Help("dpn_pool_lane_degraded_total", "Lanes whose stream ended with a transport degrade rather than an orderly close, by lane.")
 	p.lanesG = reg.Gauge("dpn_pool_lanes")
 	p.inflightG = reg.Gauge("dpn_pool_inflight")
 	p.joinsC = reg.Counter("dpn_pool_joins_total")

@@ -12,6 +12,26 @@ import (
 	"dpn/internal/obs"
 )
 
+// ErrBrokerClosed is returned by rendezvous operations on a broker that
+// has been shut down. Links whose rendezvous was still pending when the
+// broker closed finish with this error, so their watchers terminate
+// instead of waiting forever. Part of the consolidated sentinel set in
+// internal/conduit/errs.go.
+var ErrBrokerClosed = errors.New("netio: broker closed")
+
+// ErrRendezvousTimeout is returned when the peer of a channel link never
+// presented its token within the rendezvous window. Part of the
+// consolidated sentinel set in internal/conduit/errs.go.
+var ErrRendezvousTimeout = errors.New("netio: rendezvous timed out")
+
+// waiter is one registered rendezvous: fire receives the matched
+// connection; cancel (optional) is invoked if the broker shuts down
+// before the peer arrives.
+type waiter struct {
+	fire   func(conn net.Conn, peerAddr string)
+	cancel func(error)
+}
+
 // Broker is a node's single network endpoint. All channel connections
 // of all distributed graphs hosted by the node arrive at the broker's
 // listener and are matched to waiting channel ends by rendezvous token
@@ -23,7 +43,7 @@ type Broker struct {
 	addr string
 
 	mu         sync.Mutex
-	waiting    map[string]func(conn net.Conn, peerAddr string)
+	waiting    map[string]waiter
 	pending    map[string]pendingConn
 	links      map[*Handle]struct{}
 	pendingTTL time.Duration
@@ -58,7 +78,7 @@ func NewBroker(listenAddr string) (*Broker, error) {
 	b := &Broker{
 		ln:         ln,
 		addr:       ln.Addr().String(),
-		waiting:    make(map[string]func(net.Conn, string)),
+		waiting:    make(map[string]waiter),
 		pending:    make(map[string]pendingConn),
 		links:      make(map[*Handle]struct{}),
 		pendingTTL: rendezvousTimeout,
@@ -134,19 +154,19 @@ func (b *Broker) BytesIn() int64 { return b.ins.Load().bytesIn.Value() }
 func (b *Broker) BytesOut() int64 { return b.ins.Load().bytesOut.Value() }
 
 // LinkRetries reports reconnect attempts that failed and backed off
-// (dpn_link_retries_total).
+// (dpn_conduit_link_retries_total).
 func (b *Broker) LinkRetries() int64 { return b.ins.Load().linkRetries.Value() }
 
 // HeartbeatMisses reports bounded reads that timed out waiting for the
-// peer (dpn_link_heartbeat_miss_total).
+// peer (dpn_conduit_link_heartbeat_miss_total).
 func (b *Broker) HeartbeatMisses() int64 { return b.ins.Load().heartbeatMiss.Value() }
 
 // PartitionHeals reports successful link reconnects after an outage
-// (dpn_link_partition_heal_total).
+// (dpn_conduit_link_partition_heal_total).
 func (b *Broker) PartitionHeals() int64 { return b.ins.Load().partitionHeal.Value() }
 
 // LinkFailures reports links that exhausted their outage deadline and
-// degraded into a cascading close (dpn_link_failures_total).
+// degraded into a cascading close (dpn_conduit_link_failures_total).
 func (b *Broker) LinkFailures() int64 { return b.ins.Load().linkFailures.Value() }
 
 // Close shuts the listener down and closes pending connections.
@@ -159,10 +179,20 @@ func (b *Broker) Close() error {
 	b.closed = true
 	pend := b.pending
 	b.pending = map[string]pendingConn{}
+	wait := b.waiting
+	b.waiting = map[string]waiter{}
 	b.mu.Unlock()
 	err := b.ln.Close()
 	for _, p := range pend {
 		p.conn.Close()
+	}
+	// Rendezvous registrations that never matched can no longer be
+	// satisfied; notify their owners so serving handles finish and their
+	// watchers exit instead of leaking.
+	for _, w := range wait {
+		if w.cancel != nil {
+			w.cancel(ErrBrokerClosed)
+		}
 	}
 	<-b.acceptDone
 	return err
@@ -198,10 +228,10 @@ func (b *Broker) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	if h, ok := b.waiting[f.token]; ok {
+	if w, ok := b.waiting[f.token]; ok {
 		delete(b.waiting, f.token)
 		b.mu.Unlock()
-		h(conn, f.addr)
+		w.fire(conn, f.addr)
 		return
 	}
 	now := time.Now()
@@ -219,10 +249,18 @@ func (b *Broker) handleConn(conn net.Conn) {
 // expect registers a handler for the next connection presenting token.
 // If such a connection already arrived, the handler fires immediately.
 func (b *Broker) expect(token string, h func(net.Conn, string)) error {
+	return b.expectCancelable(token, h, nil)
+}
+
+// expectCancelable is expect with a cancellation hook: if the broker
+// shuts down while the registration is still pending, cancel fires with
+// ErrBrokerClosed instead of the handler, so serving link ends (and the
+// wire-layer watchers behind them) terminate rather than wait forever.
+func (b *Broker) expectCancelable(token string, h func(net.Conn, string), cancel func(error)) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return errors.New("netio: broker closed")
+		return ErrBrokerClosed
 	}
 	if p, ok := b.pending[token]; ok {
 		delete(b.pending, token)
@@ -234,7 +272,7 @@ func (b *Broker) expect(token string, h func(net.Conn, string)) error {
 		b.mu.Unlock()
 		return fmt.Errorf("netio: token %q already registered", token)
 	}
-	b.waiting[token] = h
+	b.waiting[token] = waiter{fire: h, cancel: cancel}
 	b.mu.Unlock()
 	return nil
 }
@@ -260,9 +298,10 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 	// that loses closes the connection itself instead of stranding it in
 	// a channel nobody will ever read.
 	ch := make(chan arrival, 1)
+	canceled := make(chan error, 1)
 	var mu sync.Mutex
 	timedOut := false
-	if err := b.expect(token, func(conn net.Conn, peer string) {
+	if err := b.expectCancelable(token, func(conn net.Conn, peer string) {
 		mu.Lock()
 		defer mu.Unlock()
 		if timedOut {
@@ -270,6 +309,8 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 			return
 		}
 		ch <- arrival{conn, peer} // buffered; at most one handler fires
+	}, func(err error) {
+		canceled <- err // buffered; fires at most once
 	}); err != nil {
 		return nil, "", err
 	}
@@ -278,6 +319,8 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 	select {
 	case a := <-ch:
 		return a.conn, a.peer, nil
+	case err := <-canceled:
+		return nil, "", err
 	case <-timer.C:
 		b.cancelExpect(token)
 		mu.Lock()
@@ -289,7 +332,7 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 		case a := <-ch:
 			return a.conn, a.peer, nil
 		default:
-			return nil, "", errors.New("netio: rendezvous timed out")
+			return nil, "", ErrRendezvousTimeout
 		}
 	}
 }

@@ -46,8 +46,10 @@ const maxFramePayload = 1 << 26
 // headroom so header and payload leave in a single write.
 const frameHdrLen = 5
 
-// errBadFrame reports a malformed or unexpected frame.
-var errBadFrame = errors.New("netio: malformed frame")
+// ErrBadFrame reports a malformed or unexpected protocol frame. It is
+// part of the consolidated sentinel set catalogued in
+// internal/conduit/errs.go; compare with errors.Is.
+var ErrBadFrame = errors.New("netio: malformed frame")
 
 // frame is one decoded protocol frame.
 type frame struct {
@@ -137,7 +139,7 @@ func readFrameInto(r io.Reader, scratch []byte) (frame, error) {
 		}
 		n := int(binary.BigEndian.Uint32(scratch[1:5]))
 		if n > maxFramePayload {
-			return frame{}, errBadFrame
+			return frame{}, ErrBadFrame
 		}
 		if n <= len(scratch)-frameHdrLen {
 			f.payload = scratch[frameHdrLen : frameHdrLen+n]
@@ -175,7 +177,7 @@ func readFrameInto(r io.Reader, scratch []byte) (frame, error) {
 		}
 		f.token, f.addr = tok, addr
 	default:
-		return frame{}, errBadFrame
+		return frame{}, ErrBadFrame
 	}
 	return f, nil
 }

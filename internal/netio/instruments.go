@@ -58,22 +58,35 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 	reg.Help("dpn_broker_bytes_total", "Channel-link bytes through the broker, by dir (in|out).")
 	reg.Help("dpn_broker_frames_total", "Protocol frames through the broker, by kind and dir (in|out).")
 	reg.Help("dpn_broker_credit_stalls_total", "Times an outbound link waited for flow-control credit.")
-	reg.Help("dpn_link_frames_coalesced_total", "Queued outbound data chunks merged into an earlier frame instead of sent separately.")
-	reg.Help("dpn_link_retries_total", "Link reconnect attempts that failed and backed off.")
-	reg.Help("dpn_link_heartbeat_miss_total", "Bounded link reads that timed out waiting for the peer.")
-	reg.Help("dpn_link_partition_heal_total", "Successful link reconnects after an outage.")
-	reg.Help("dpn_link_failures_total", "Links that exhausted their outage deadline and degraded.")
+	reg.Help("dpn_conduit_link_frames_coalesced_total", "Queued outbound data chunks merged into an earlier frame instead of sent separately.")
+	reg.Help("dpn_conduit_link_retries_total", "Link reconnect attempts that failed and backed off.")
+	reg.Help("dpn_conduit_link_heartbeat_miss_total", "Bounded link reads that timed out waiting for the peer.")
+	reg.Help("dpn_conduit_link_partition_heal_total", "Successful link reconnects after an outage.")
+	reg.Help("dpn_conduit_link_failures_total", "Links that exhausted their outage deadline and degraded.")
+	// The link plane is the transport half of the conduit layer, so its
+	// canonical metric names live under dpn_conduit_link_*; the pre-PR5
+	// dpn_link_* names stay visible as exposition-time aliases.
+	for _, m := range [][2]string{
+		{"dpn_link_frames_coalesced_total", "dpn_conduit_link_frames_coalesced_total"},
+		{"dpn_link_retries_total", "dpn_conduit_link_retries_total"},
+		{"dpn_link_heartbeat_miss_total", "dpn_conduit_link_heartbeat_miss_total"},
+		{"dpn_link_partition_heal_total", "dpn_conduit_link_partition_heal_total"},
+		{"dpn_link_failures_total", "dpn_conduit_link_failures_total"},
+	} {
+		reg.Alias(m[0], m[1])
+		reg.AliasHelp(m[0], "Deprecated alias of "+m[1]+".")
+	}
 	ins := &brokerInstruments{
 		bytesIn:         reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
 		bytesOut:        reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
 		framesIn:        make(map[byte]*obs.Counter, len(frameKinds)),
 		framesOut:       make(map[byte]*obs.Counter, len(frameKinds)),
 		creditStalls:    reg.Counter("dpn_broker_credit_stalls_total"),
-		framesCoalesced: reg.Counter("dpn_link_frames_coalesced_total"),
-		linkRetries:     reg.Counter("dpn_link_retries_total"),
-		heartbeatMiss:   reg.Counter("dpn_link_heartbeat_miss_total"),
-		partitionHeal:   reg.Counter("dpn_link_partition_heal_total"),
-		linkFailures:    reg.Counter("dpn_link_failures_total"),
+		framesCoalesced: reg.Counter("dpn_conduit_link_frames_coalesced_total"),
+		linkRetries:     reg.Counter("dpn_conduit_link_retries_total"),
+		heartbeatMiss:   reg.Counter("dpn_conduit_link_heartbeat_miss_total"),
+		partitionHeal:   reg.Counter("dpn_conduit_link_partition_heal_total"),
+		linkFailures:    reg.Counter("dpn_conduit_link_failures_total"),
 		tracer:          s.Tracer(),
 	}
 	for _, fk := range frameKinds {

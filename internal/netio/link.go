@@ -62,6 +62,11 @@ const DefaultWindow = 256 * 1024
 // rendezvousTimeout bounds how long link setup waits for the peer.
 const rendezvousTimeout = 60 * time.Second
 
+// ErrLinkDeadline is returned when an outage outlasts the link's
+// LinkDeadline and the link degrades into a cascading close. Part of
+// the consolidated sentinel set in internal/conduit/errs.go.
+var ErrLinkDeadline = errors.New("netio: link deadline exceeded")
+
 // Resilience configures fault tolerance for every link of a broker.
 // With resilience enabled, both link halves heartbeat each other while
 // idle, bound every network operation with MissDeadline, and treat a
@@ -133,6 +138,11 @@ type Handle struct {
 	out *outboundLink
 	in  *inboundLink
 
+	// rearm, when set, is invoked with the replacement Handle whenever
+	// this link re-arms itself (the §4.3 redirect path registers a fresh
+	// ServeInbound rendezvous on the same broker). See SetRearmHook.
+	rearm func(*Handle)
+
 	done       chan struct{}
 	finishOnce sync.Once
 	err        error
@@ -157,7 +167,7 @@ func (h *Handle) WaitReady() error {
 	case <-h.ready:
 		return nil
 	case <-time.After(rendezvousTimeout):
-		return errors.New("netio: rendezvous timed out")
+		return ErrRendezvousTimeout
 	}
 }
 
@@ -180,6 +190,25 @@ func (h *Handle) PeerAddr() (string, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.peerAddr, nil
+}
+
+// SetRearmHook registers fn to be called with the replacement Handle
+// whenever this link re-arms itself into a fresh handle — today only the
+// redirect path (§4.3), where the reader host serves a new rendezvous
+// for the writer's next hop. The hook propagates to the replacement, so
+// a tracker following a chain of redirects always holds the live handle
+// instead of a finished one. fn runs on the link's session goroutine,
+// before the old handle finishes, and must not block.
+func (h *Handle) SetRearmHook(fn func(*Handle)) {
+	h.mu.Lock()
+	h.rearm = fn
+	h.mu.Unlock()
+}
+
+func (h *Handle) rearmHook() func(*Handle) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rearm
 }
 
 func (h *Handle) finish(err error) {
@@ -232,9 +261,15 @@ func (b *Broker) DialOutbound(addr, token string, src io.ReadCloser, window int)
 func (b *Broker) ServeOutbound(token string, src io.ReadCloser, window int) (*Handle, error) {
 	h := newHandle(b, true)
 	h.out = b.newOutbound(h, src, window, true, "", token)
-	err := b.expect(token, func(conn net.Conn, peerAddr string) {
+	err := b.expectCancelable(token, func(conn net.Conn, peerAddr string) {
 		h.markReady(peerAddr)
 		go h.out.run(conn)
+	}, func(err error) {
+		// Broker shut down before the peer arrived: poison the local
+		// source and finish, so watchers of this handle terminate
+		// instead of leaking.
+		src.Close()
+		h.finish(err)
 	})
 	if err != nil {
 		return nil, err
@@ -308,10 +343,13 @@ func (b *Broker) DialInbound(addr, token string, dst io.WriteCloser) (*Handle, e
 func (b *Broker) ServeInbound(token string, dst io.WriteCloser) (*Handle, error) {
 	h := newHandle(b, false)
 	h.in = b.newInbound(h, dst, true, "", token)
-	err := b.expect(token, func(conn net.Conn, peerAddr string) {
+	err := b.expectCancelable(token, func(conn net.Conn, peerAddr string) {
 		h.in.setConn(conn)
 		h.markReady(peerAddr)
 		go h.in.run(conn)
+	}, func(err error) {
+		dst.Close()
+		h.finish(err)
 	})
 	if err != nil {
 		return nil, err
@@ -377,7 +415,7 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 	if serve {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return nil, errors.New("netio: link deadline exceeded")
+			return nil, ErrLinkDeadline
 		}
 		conn, _, err := b.expectWithin(token, remaining)
 		return conn, err
@@ -394,7 +432,7 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 		// another reconnect. Without this check that cycle never ends and
 		// the link never degrades.
 		if !time.Now().Before(deadline) {
-			return nil, errors.New("netio: link deadline exceeded")
+			return nil, ErrLinkDeadline
 		}
 		conn, err := b.dial(addr, token)
 		if err == nil {
@@ -408,7 +446,7 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 			wait = half + time.Duration(rng.Int63n(int64(half)+1))
 		}
 		if time.Now().Add(wait).After(deadline) {
-			return nil, fmt.Errorf("netio: reconnect to %s: %w", addr, err)
+			return nil, fmt.Errorf("reconnect to %s: %w: %w", addr, ErrLinkDeadline, err)
 		}
 		time.Sleep(wait)
 		backoff *= 2
@@ -1228,18 +1266,26 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 					i.h.b.noteFrame(frameBye, true, 0)
 				}
 			}
-			_, err := i.h.b.ServeInbound(f.token, i.dst)
+			nh, err := i.h.b.ServeInbound(f.token, i.dst)
 			conn.Close()
 			if err != nil {
 				i.h.finish(fmt.Errorf("netio: redirect re-arm: %w", err))
 				return true, progressed
+			}
+			// Hand the replacement to whoever tracks this handle before
+			// finishing, so the tracker never observes a gap — and seed
+			// the hook on the replacement, so a further redirect keeps
+			// the chain alive.
+			if hook := i.h.rearmHook(); hook != nil {
+				nh.SetRearmHook(hook)
+				hook(nh)
 			}
 			i.h.finish(nil)
 			return true, progressed
 		default:
 			conn.Close()
 			i.dst.Close()
-			i.h.finish(errBadFrame)
+			i.h.finish(ErrBadFrame)
 			return true, progressed
 		}
 	}

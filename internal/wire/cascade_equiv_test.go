@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"encoding/gob"
+	"io"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpn/internal/core"
+	"dpn/internal/token"
+)
+
+// The close-cascade equivalence property (satellite of the conduit
+// refactor): a Kahn graph must compute the identical stream whether its
+// channel is a bare in-proc conduit, a tcp-bound conduit, or a conduit
+// whose transport is rebound mid-stream by a live migration — and the
+// §3.4 cascade must terminate the graph the same way in all three
+// deployments, in both directions (producer EOF flowing down, consumer
+// close flowing up).
+
+// lcgSource emits a deterministic pseudorandom int64 sequence, paced so
+// mid-stream migrations reliably land mid-stream. Iterations <= 0 runs
+// until the consumer's close poisons the output (the upward cascade is
+// then the only way the process can stop).
+type lcgSource struct {
+	core.Iterative
+	Out   *core.WritePort
+	State int64
+}
+
+func (s *lcgSource) Step(env *core.Env) error {
+	time.Sleep(50 * time.Microsecond)
+	s.State = s.State*6364136223846793005 + 1442695040888963407
+	return token.NewWriter(s.Out).WriteInt64(s.State)
+}
+
+// capCollect collects int64 elements. With Limit > 0 it closes its
+// input after Limit elements (triggering the upward cascade); with
+// Limit == 0 it reads until the producer's EOF reaches it (the downward
+// cascade). Vals is exported so the collected prefix survives a
+// migration; the atomic mirror lets the test poll progress on a live
+// process without racing.
+type capCollect struct {
+	In    *core.ReadPort
+	Limit int
+	Vals  []int64
+
+	progress atomic.Int64
+}
+
+func (c *capCollect) Step(env *core.Env) error {
+	if c.Limit > 0 && len(c.Vals) >= c.Limit {
+		c.In.Close()
+		return io.EOF
+	}
+	v, err := token.NewReader(c.In).ReadInt64()
+	if err != nil {
+		return err
+	}
+	c.Vals = append(c.Vals, v)
+	c.progress.Store(int64(len(c.Vals)))
+	return nil
+}
+
+func init() {
+	gob.Register(&lcgSource{})
+	gob.Register(&capCollect{})
+}
+
+// cascadeCase fixes one cascade direction. iterations > 0 with
+// limit == 0 exercises the downward cascade (producer finishes, EOF
+// drains to the consumer); iterations <= 0 with limit > 0 exercises the
+// upward cascade (consumer closes, ErrReadClosed poisons the producer).
+type cascadeCase struct {
+	name       string
+	iterations int64
+	limit      int
+	want       int // expected element count
+}
+
+var cascadeCases = []cascadeCase{
+	{name: "producer-eof", iterations: 120, limit: 0, want: 120},
+	{name: "consumer-close", iterations: 0, limit: 120, want: 120},
+}
+
+func newCollector(cc cascadeCase, in *core.ReadPort) *capCollect {
+	return &capCollect{In: in, Limit: cc.limit}
+}
+
+func newSource(cc cascadeCase, out *core.WritePort) *lcgSource {
+	s := &lcgSource{Out: out, State: 42}
+	s.Iterations = cc.iterations
+	return s
+}
+
+// runInproc runs the graph on one node: the conduit stays unbound.
+func runInproc(t *testing.T, cc cascadeCase) []int64 {
+	t.Helper()
+	a := newTestNode(t)
+	ch := a.Net.NewChannel("eq", 256)
+	col := newCollector(cc, ch.Reader())
+	a.Net.Spawn(newSource(cc, ch.Writer()))
+	a.Net.Spawn(col)
+	waitNet(t, a.Net, "inproc network")
+	return col.Vals
+}
+
+// runTCP exports the collector before execution: the conduit's sink is
+// rebound to the tcp transport and the cascade crosses the wire.
+func runTCP(t *testing.T, cc cascadeCase) []int64 {
+	t.Helper()
+	a := newTestNode(t)
+	b := newTestNode(t)
+	ch := a.Net.NewChannel("eq", 256)
+	src := newSource(cc, ch.Writer())
+	parcel, err := Export(a, b.Broker.Addr(), newCollector(cc, ch.Reader()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := Import(b, ship(t, parcel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, ok := procs[0].(*capCollect)
+	if !ok {
+		t.Fatalf("imported %T", procs[0])
+	}
+	b.Net.Spawn(col)
+	a.Net.Spawn(src)
+	waitNet(t, a.Net, "producer node")
+	waitNet(t, b.Net, "consumer node")
+	return col.Vals
+}
+
+// runTCPRebind additionally migrates the running collector B→C once a
+// quarter of the stream has flowed: the reader-side rebind drains the
+// conduit at a fence, ships the leftover, and resumes on a fresh link.
+func runTCPRebind(t *testing.T, cc cascadeCase) []int64 {
+	t.Helper()
+	a := newTestNode(t)
+	b := newTestNode(t)
+	c := newTestNode(t)
+	ch := a.Net.NewChannel("eq", 256)
+	src := newSource(cc, ch.Writer())
+	parcel, err := Export(a, b.Broker.Addr(), newCollector(cc, ch.Reader()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := Import(b, ship(t, parcel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB := procs[0].(*capCollect)
+	h := b.Net.Spawn(colB)
+	a.Net.Spawn(src)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for colB.progress.Load() < int64(cc.want/4) {
+		if time.Now().After(deadline) {
+			t.Fatal("collector made no progress before migration")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p2, err := Migrate(b, c.Broker.Addr(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := colB.progress.Load(); n == 0 || n >= int64(cc.want) {
+		t.Fatalf("migration did not land mid-stream: %d elements", n)
+	}
+	procsC, err := Import(c, ship(t, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colC := procsC[0].(*capCollect)
+	c.Net.Spawn(colC)
+	waitNet(t, a.Net, "producer node")
+	waitNet(t, b.Net, "old consumer node")
+	waitNet(t, c.Net, "new consumer node")
+	return colC.Vals
+}
+
+func TestCascadeEquivalenceAcrossTransports(t *testing.T) {
+	for _, cc := range cascadeCases {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			inproc := runInproc(t, cc)
+			if len(inproc) != cc.want {
+				t.Fatalf("inproc collected %d elements, want %d", len(inproc), cc.want)
+			}
+			tcp := runTCP(t, cc)
+			if !reflect.DeepEqual(tcp, inproc) {
+				t.Fatalf("tcp deployment diverged: %d elements vs %d", len(tcp), len(inproc))
+			}
+			rebound := runTCPRebind(t, cc)
+			if !reflect.DeepEqual(rebound, inproc) {
+				t.Fatalf("mid-stream rebind diverged: %d elements vs %d", len(rebound), len(inproc))
+			}
+		})
+	}
+}

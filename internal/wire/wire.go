@@ -24,10 +24,12 @@ package wire
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
+	"dpn/internal/conduit"
 	"dpn/internal/core"
 	"dpn/internal/deadlock"
 	"dpn/internal/netio"
@@ -54,15 +56,19 @@ func portsOfDeep(p any) []io.Closer {
 }
 
 // Node bundles a process network with its network broker and tracks
-// which channels are carried by which network links, so that a second
+// which channels are carried by which transport links, so that a second
 // move of a channel end can trigger the §4.3 redirection instead of a
-// relay.
+// relay. All cross-node bindings flow through the node's conduit
+// transport (tcp over the broker; chaos suites install fault injection
+// on the same broker, so the binding code path is identical).
 type Node struct {
 	Net    *core.Network
 	Broker *netio.Broker
 
+	tr conduit.TCP
+
 	mu    sync.Mutex
-	links map[*core.Channel]*netio.Handle
+	links map[*core.Channel]conduit.Link
 }
 
 // NewNode creates a node from an existing network and broker. The
@@ -78,8 +84,17 @@ func NewNode(net *core.Network, broker *netio.Broker) *Node {
 	reg.Help("dpn_wire_parcels_total", "Graph parcels processed by this node, by op (export|import).")
 	reg.Help("dpn_wire_migrations_total", "Running processes migrated off this node (§6.1).")
 	reg.Help("dpn_wire_link_failures_total", "Channel links that shut down with an error, by channel.")
-	return &Node{Net: net, Broker: broker, links: make(map[*core.Channel]*netio.Handle)}
+	return &Node{
+		Net:    net,
+		Broker: broker,
+		tr:     conduit.TCP{Broker: broker},
+		links:  make(map[*core.Channel]conduit.Link),
+	}
 }
+
+// Transport returns the conduit transport this node binds boundary
+// channels through.
+func (n *Node) Transport() conduit.Transport { return n.tr }
 
 // Obs returns the node's unified observability scope.
 func (n *Node) Obs() *obs.Scope { return n.Net.Obs() }
@@ -116,11 +131,19 @@ func NewLocalNode(listenAddr string) (*Node, error) {
 // Close shuts down the node's broker.
 func (n *Node) Close() error { return n.Broker.Close() }
 
-func (n *Node) trackLink(ch *core.Channel, h *netio.Handle) {
+// trackLink records l as the live link carrying ch and watches it. If
+// the link can re-arm itself (the §4.3 redirect path replaces the
+// serving handle with a fresh one for the writer's next hop), the
+// replacement is re-tracked through the same path, so a third move of
+// the channel never consults a finished link.
+func (n *Node) trackLink(ch *core.Channel, l conduit.Link) {
+	if r, ok := l.(conduit.Rearmer); ok {
+		r.OnRearm(func(nl conduit.Link) { n.trackLink(ch, nl) })
+	}
 	n.mu.Lock()
-	n.links[ch] = h
+	n.links[ch] = l
 	n.mu.Unlock()
-	go n.watchLink(ch, h)
+	go n.watchLink(ch, l)
 }
 
 // watchLink waits for a tracked link to shut down and reports it. A
@@ -130,21 +153,29 @@ func (n *Node) trackLink(ch *core.Channel, h *netio.Handle) {
 // The counter and the traced event are how an operator distinguishes
 // "graph finished" from "graph degraded". The map entry is dropped
 // either way, so a dead handle is never offered a Move or Redirect.
-func (n *Node) watchLink(ch *core.Channel, h *netio.Handle) {
-	err := h.Wait()
+// Local broker shutdown cancels pending rendezvous (finishing their
+// links with conduit.ErrBrokerClosed), which terminates these watchers
+// instead of leaking them; that case is traced but not counted as a
+// failure, since nothing degraded on the wire.
+func (n *Node) watchLink(ch *core.Channel, l conduit.Link) {
+	err := l.Wait()
 	n.mu.Lock()
-	if n.links[ch] == h {
+	if n.links[ch] == l {
 		delete(n.links, ch)
 	}
 	n.mu.Unlock()
 	if err != nil {
 		s := n.Obs()
+		if errors.Is(err, conduit.ErrBrokerClosed) {
+			s.Record(obs.EvLink, ch.Name(), "shutdown", 0)
+			return
+		}
 		s.Registry().Counter("dpn_wire_link_failures_total", obs.L("channel", ch.Name())).Inc()
 		s.Record(obs.EvLink, ch.Name(), "fail", 0)
 	}
 }
 
-func (n *Node) linkFor(ch *core.Channel) *netio.Handle {
+func (n *Node) linkFor(ch *core.Channel) conduit.Link {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.links[ch]
@@ -283,9 +314,13 @@ func Export(n *Node, destAddr string, procs ...any) (*Parcel, error) {
 }
 
 // exportReader handles a moving consuming end. If the channel is fully
-// local, the origin keeps the producing side and serves the bytes; if
-// the channel was itself fed over the network (its writer moved away
-// earlier), the writer host is redirected to the reader's new home.
+// local, the origin keeps the producing side and rebinds the conduit's
+// sink to the transport (the destination dials us and drains the
+// buffer); if the channel was itself fed over the network (its writer
+// moved away earlier), the live inbound binding is rebound instead: the
+// writer host is told to fence and reconnect directly to the reader's
+// new home, and the bytes delivered before the fence travel inside the
+// parcel (drain → rebind → resume at offset).
 func exportReader(n *Node, t *core.Transfer, ch *core.Channel, r *core.ReadPort, destAddr string) (PortDescriptor, error) {
 	pd := PortDescriptor{
 		ID:       t.RegisterRead(r),
@@ -293,19 +328,18 @@ func exportReader(n *Node, t *core.Transfer, ch *core.Channel, r *core.ReadPort,
 		Name:     ch.Name(),
 		Capacity: ch.Pipe().Cap(),
 	}
-	if h := n.linkFor(ch); h != nil && !h.Outbound() {
+	if l := n.linkFor(ch); l != nil && !l.Outbound() {
 		// Case: reader moving while its writer is already remote. Tell
-		// the writer host to reconnect directly to the destination.
+		// the writer host to rebind directly to the destination.
 		token := n.Broker.NewToken()
-		if err := h.Move(destAddr, token); err != nil {
+		if err := l.Move(destAddr, token); err != nil {
 			return pd, fmt.Errorf("wire: moving reader of %s: %w", ch.Name(), err)
 		}
-		// Everything delivered before the fence sits in the local pipe;
-		// it travels with the parcel.
-		ch.Pipe().CloseWrite()
-		src := r.Detach()
-		leftover, err := io.ReadAll(src)
-		if err != nil && !core.IsTermination(err) {
+		// Everything delivered before the fence sits in the conduit;
+		// seal it and let the drained bytes travel with the parcel.
+		r.Detach()
+		leftover, err := ch.Conduit().SealAndDrain()
+		if err != nil {
 			return pd, err
 		}
 		pd.Mode = "serve"
@@ -313,14 +347,16 @@ func exportReader(n *Node, t *core.Transfer, ch *core.Channel, r *core.ReadPort,
 		pd.Leftover = leftover
 		return pd, nil
 	}
-	// Fully local channel: the producing side stays; serve its bytes.
+	// Fully local channel: the producing side stays; rebind the
+	// conduit's sink outward. The detach hands the exit to the conduit's
+	// new binding, and the channel capacity becomes the credit window.
 	token := n.Broker.NewToken()
-	src := r.Detach()
-	h, err := n.Broker.ServeOutbound(token, src, ch.Pipe().Cap())
+	r.Detach()
+	l, err := ch.Conduit().BindSink(n.tr, conduit.Endpoint{Token: token}, ch.Pipe().Cap())
 	if err != nil {
 		return pd, err
 	}
-	n.trackLink(ch, h)
+	n.trackLink(ch, l)
 	pd.Mode = "dial"
 	pd.Addr = n.Broker.Addr()
 	pd.Token = token
@@ -328,10 +364,12 @@ func exportReader(n *Node, t *core.Transfer, ch *core.Channel, r *core.ReadPort,
 }
 
 // exportWriter handles a moving producing end. If the channel is fully
-// local, the origin keeps the consuming side and receives the bytes; if
-// the producing end was already remote-bound (it moved here earlier or
-// its reader moved away), the §4.3 REDIRECT is sent so the destination
-// connects straight to the reader's host.
+// local, the origin keeps the consuming side and rebinds the conduit's
+// source to the transport (the destination dials us and feeds the
+// buffer); if the producing end was already remote-bound (it moved
+// here earlier or its reader moved away), the §4.3 REDIRECT is the
+// second rebind: the reader host re-arms for the destination, which
+// connects straight to it.
 func exportWriter(n *Node, t *core.Transfer, ch *core.Channel, w *core.WritePort) (PortDescriptor, error) {
 	pd := PortDescriptor{
 		ID:       t.RegisterWrite(w),
@@ -339,19 +377,19 @@ func exportWriter(n *Node, t *core.Transfer, ch *core.Channel, w *core.WritePort
 		Name:     ch.Name(),
 		Capacity: ch.Pipe().Cap(),
 	}
-	if h := n.linkFor(ch); h != nil && h.Outbound() {
+	if l := n.linkFor(ch); l != nil && l.Outbound() {
 		// Case: writer moving while its reader is already remote (the
 		// Figure 15 second hop). Announce the redirect, drain, and step
 		// out of the path.
 		token := n.Broker.NewToken()
-		peer, err := h.Redirect(token)
+		peer, err := l.Redirect(token)
 		if err != nil {
 			return pd, fmt.Errorf("wire: redirecting writer of %s: %w", ch.Name(), err)
 		}
 		if sink := w.Detach(); sink != nil {
 			sink.Close() // lets the outbound link drain to the redirect frame
 		}
-		if err := h.Wait(); err != nil {
+		if err := l.Wait(); err != nil {
 			return pd, err
 		}
 		pd.Mode = "dial"
@@ -359,14 +397,15 @@ func exportWriter(n *Node, t *core.Transfer, ch *core.Channel, w *core.WritePort
 		pd.Token = token
 		return pd, nil
 	}
-	// Fully local channel: the consuming side stays; receive the bytes.
+	// Fully local channel: the consuming side stays; rebind the
+	// conduit's source inward.
 	token := n.Broker.NewToken()
 	w.Detach()
-	h, err := n.Broker.ServeInbound(token, ch.Pipe().WriteEnd())
+	l, err := ch.Conduit().BindSource(n.tr, conduit.Endpoint{Token: token})
 	if err != nil {
 		return pd, err
 	}
-	n.trackLink(ch, h)
+	n.trackLink(ch, l)
 	pd.Mode = "dial"
 	pd.Addr = n.Broker.Addr()
 	pd.Token = token
@@ -380,10 +419,8 @@ func Import(n *Node, parcel *Parcel) ([]any, error) {
 	t := core.NewTransfer()
 	for _, cd := range parcel.Internal {
 		ch := n.Net.NewChannel(cd.Name, max(cd.Capacity, len(cd.Buffered)))
-		if len(cd.Buffered) > 0 {
-			if _, err := ch.Pipe().Write(cd.Buffered); err != nil {
-				return nil, fmt.Errorf("wire: restoring buffer of %s: %w", cd.Name, err)
-			}
+		if err := ch.Conduit().Restore(cd.Buffered); err != nil {
+			return nil, fmt.Errorf("wire: restoring buffer of %s: %w", cd.Name, err)
 		}
 		t.ProvideRead(cd.ReadID, ch.Reader())
 		t.ProvideWrite(cd.WriteID, ch.Writer())
@@ -391,36 +428,36 @@ func Import(n *Node, parcel *Parcel) ([]any, error) {
 	for _, pd := range parcel.Boundary {
 		switch pd.Side {
 		case "reader":
+			// The moved reader resumes at its drained offset: leftovers
+			// are restored into the conduit first, then the source is
+			// rebound to the transport so post-fence bytes follow.
 			ch := n.Net.NewChannel(pd.Name, max(pd.Capacity, len(pd.Leftover)))
-			if len(pd.Leftover) > 0 {
-				if _, err := ch.Pipe().Write(pd.Leftover); err != nil {
-					return nil, err
-				}
+			if err := ch.Conduit().Restore(pd.Leftover); err != nil {
+				return nil, fmt.Errorf("wire: restoring leftover of %s: %w", pd.Name, err)
 			}
 			t.ProvideRead(pd.ID, ch.Reader())
-			var h *netio.Handle
-			var err error
+			ep := conduit.Endpoint{Token: pd.Token}
 			if pd.Mode == "dial" {
-				h, err = n.Broker.DialInbound(pd.Addr, pd.Token, ch.Pipe().WriteEnd())
-			} else {
-				h, err = n.Broker.ServeInbound(pd.Token, ch.Pipe().WriteEnd())
+				ep.Addr = pd.Addr
 			}
+			l, err := ch.Conduit().BindSource(n.tr, ep)
 			if err != nil {
 				return nil, fmt.Errorf("wire: reconnecting reader %s: %w", pd.Name, err)
 			}
-			n.trackLink(ch, h)
+			n.trackLink(ch, l)
 		case "writer":
 			ch := n.Net.NewChannel(pd.Name, pd.Capacity)
 			t.ProvideWrite(pd.ID, ch.Writer())
-			src := ch.Reader().Detach()
+			ch.Reader().Detach()
 			if pd.Mode != "dial" {
 				return nil, fmt.Errorf("wire: writer descriptor %s must dial", pd.Name)
 			}
-			h, err := n.Broker.DialOutbound(pd.Addr, pd.Token, src, pd.Capacity)
+			ep := conduit.Endpoint{Addr: pd.Addr, Token: pd.Token}
+			l, err := ch.Conduit().BindSink(n.tr, ep, pd.Capacity)
 			if err != nil {
 				return nil, fmt.Errorf("wire: reconnecting writer %s: %w", pd.Name, err)
 			}
-			n.trackLink(ch, h)
+			n.trackLink(ch, l)
 		default:
 			return nil, fmt.Errorf("wire: unknown descriptor side %q", pd.Side)
 		}

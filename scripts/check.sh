@@ -20,6 +20,11 @@
 #                    join/leave/kill, straggler re-dispatch, lane
 #                    migration) plus the hardened Scatter/Gather close
 #                    semantics, all under -race.
+#   check.sh -lint   static-analysis gate: go vet, staticcheck when the
+#                    binary is on PATH (skipped with a notice otherwise
+#                    — nothing is downloaded), and a style check that
+#                    the conduit package's API surface never says
+#                    interface{} (spell it any).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -86,6 +91,26 @@ if [ "${1:-}" = "-chaos" ]; then
 	exit 1
 fi
 
+if [ "${1:-}" = "-lint" ]; then
+	fail=0
+	echo "lint gate: go vet ./..."
+	go vet ./... || fail=1
+	if command -v staticcheck >/dev/null 2>&1; then
+		echo "lint gate: staticcheck ./..."
+		staticcheck ./... || fail=1
+	else
+		echo "lint gate: staticcheck not installed; skipping (install it locally to enable)"
+	fi
+	# The conduit layer is the one data-plane API every package builds
+	# on; keep its surface on the modern spelling.
+	if grep -n 'interface{}' internal/conduit/*.go; then
+		echo "lint gate: interface{} in internal/conduit (use any)"
+		fail=1
+	fi
+	[ "$fail" -eq 0 ] && echo "lint gate: PASS" || echo "lint gate: FAIL"
+	exit "$fail"
+fi
+
 if [ "${1:-}" = "-pool" ]; then
 	pat='(Pool|Elastic|StaggeredClose|TornBlock|DeadLane|GatherAllClosed|GatherCorrupt|DirectBadIndex|WorkerKilled|BatchedRead|BatchedFloat)'
 	echo "pool gate: go test -race -run '$pat' -count=1 ./..."
@@ -97,8 +122,8 @@ if [ "${1:-}" = "-pool" ]; then
 	exit 1
 fi
 
+./scripts/check.sh -lint
 set -x
-go vet ./...
 go build ./...
 go test -race ./...
 set +x
