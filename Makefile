@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet lint bench pool bench-pr4
+.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 obs
 
 build:
 	go build ./...
@@ -43,3 +43,16 @@ pool:
 # dynamic composition completes at >= 1.3x the static one.
 bench-pr4:
 	./scripts/bench.sh -pr4
+
+# Re-records the tracing-overhead trajectory (BENCH_pr6.json): the
+# hot-path suite plus its tracer-enabled twins, with traced/untraced
+# ns/op ratios; see EXPERIMENTS.md, "Tracing overhead".
+bench-pr6:
+	./scripts/bench.sh -pr6
+
+# Observability gate alone: the tracing/telemetry suites under -race
+# (including the multi-process metrics/dpntop/trace-merge smoke), then
+# the disabled-tracing cost assertion against BENCH_pr6.json; see
+# scripts/check.sh -obs.
+obs:
+	./scripts/check.sh -obs

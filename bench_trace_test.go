@@ -1,0 +1,94 @@
+// Causal-tracing overhead ablation: the same loopback-link workload as
+// bench_hotpath_test.go's linkBench, but with the event tracer enabled
+// and broker-level trace sampling marking every Nth outbound DATA
+// frame. Compare BenchmarkLinkThroughputTraced against
+// BenchmarkLinkThroughput (and the SmallWrites pair) in BENCH_pr6.json
+// to read the enabled-sampling cost; scripts/check.sh -obs separately
+// asserts the *disabled* path stays within 3% of the BENCH_pr3.json
+// baseline.
+package dpn_test
+
+import (
+	"testing"
+
+	"dpn/internal/stream"
+	"dpn/internal/wire"
+)
+
+// linkBenchTraced pumps b.N writes of size bytes through a loopback
+// broker link with tracers enabled and every-Nth-frame trace sampling.
+func linkBenchTraced(b *testing.B, size, every int) {
+	a, err := wire.NewLocalNode("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	c, err := wire.NewLocalNode("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	a.Obs().Tracer().Enable()
+	c.Obs().Tracer().Enable()
+	a.Broker.SetTraceSampling(every)
+
+	src := stream.NewPipe(1 << 16)
+	dst := stream.NewPipe(1 << 16)
+	tok := a.Broker.NewToken()
+	if _, err := a.Broker.ServeOutbound(tok, src.ReadEnd(), 0); err != nil {
+		b.Fatal(err)
+	}
+	h, err := c.Broker.DialInbound(a.Broker.Addr(), tok, dst.WriteEnd())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := h.WaitReady(); err != nil {
+		b.Fatal(err)
+	}
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		buf := make([]byte, 1<<15)
+		for {
+			if _, err := dst.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	src.CloseWrite()
+	<-consumed
+	dst.CloseRead()
+}
+
+// BenchmarkLinkThroughputTraced is BenchmarkLinkThroughput with trace
+// sampling on every 64th frame — the recommended production setting.
+func BenchmarkLinkThroughputTraced(b *testing.B) { linkBenchTraced(b, 32*1024, 64) }
+
+// BenchmarkLinkSmallWritesTraced is the per-frame-overhead-dominated
+// regime with sampling on every 64th frame.
+func BenchmarkLinkSmallWritesTraced(b *testing.B) { linkBenchTraced(b, 256, 64) }
+
+// BenchmarkPipeMarkTrace prices the one-word mark primitive itself: the
+// cost a producer pays to tag its next batch, and the cost the link
+// pays to poll for a mark on every frame (the disabled-path check is a
+// single atomic load).
+func BenchmarkPipeMarkTrace(b *testing.B) {
+	p := stream.NewPipe(1 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.MarkTrace(uint64(i) | 1)
+		if p.TakeTraceMark() == 0 {
+			b.Fatal("mark lost")
+		}
+	}
+}

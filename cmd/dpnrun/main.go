@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -39,7 +40,18 @@ import (
 var obsCfg struct {
 	metrics string
 	stats   bool
+	top     time.Duration
+	pprof   bool
+	mutex   int
+	trace   string
+	sample  int
 }
+
+// collectTrace gathers the per-node trace rings for -trace. The
+// default (installed by instrument) snapshots the local tracer only;
+// graph branches that ship work to remote compute servers override it
+// to scrape each server's ring over the "trace" RPC as well.
+var collectTrace func() []obs.NodeTrace
 
 // chaosCfg carries the fault-injection flags to the branches that
 // create a network broker.
@@ -76,32 +88,97 @@ func warnChaosUnused() {
 	}
 }
 
-// instrument applies the -metrics / -stats flags to the network about
-// to run: it enables the event tracer, starts the observability HTTP
-// endpoint, and returns the cleanup that prints the final summary
-// table and shuts the endpoint down.
+// instrument applies the observability flags to the network about to
+// run: it enables the event tracer, starts the observability HTTP
+// endpoint (with the pprof handlers when -pprof is set), launches the
+// live dpntop renderer, and returns the cleanup that writes the merged
+// Chrome trace, prints the final summary table, and shuts everything
+// down.
 func instrument(net *core.Network) func() {
 	scope := net.Obs()
 	var hs *obs.HTTPServer
-	if obsCfg.metrics != "" || obsCfg.stats {
+	if obsCfg.mutex > 0 {
+		runtime.SetMutexProfileFraction(obsCfg.mutex)
+	}
+	if obsCfg.metrics != "" || obsCfg.stats || obsCfg.trace != "" {
 		scope.Tracer().Enable()
 	}
 	if obsCfg.metrics != "" {
 		var err error
-		hs, err = obs.ServeScope(obsCfg.metrics, scope)
+		endpoints := "/metrics, /trace"
+		if obsCfg.pprof {
+			hs, err = obs.ServeDebugScope(obsCfg.metrics, scope)
+			endpoints += ", /debug/pprof/"
+		} else {
+			hs, err = obs.ServeScope(obsCfg.metrics, scope)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpnrun: metrics:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "observability on http://%s/ (/metrics, /trace)\n", hs.Addr())
+		fmt.Fprintf(os.Stderr, "observability on http://%s/ (%s)\n", hs.Addr(), endpoints)
+	}
+	stopTop := make(chan struct{})
+	var topDone chan struct{}
+	if obsCfg.top > 0 {
+		topDone = make(chan struct{})
+		tv := viz.NewTopView(os.Stderr)
+		if st, err := os.Stderr.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+			tv.Clear = true
+		}
+		go func() {
+			defer close(topDone)
+			tick := time.NewTicker(obsCfg.top)
+			defer tick.Stop()
+			tv.Render(scope.Registry().Samples(), time.Now())
+			for {
+				select {
+				case <-stopTop:
+					// One closing frame so even a run shorter than the
+					// refresh interval shows its table once.
+					tv.Render(scope.Registry().Samples(), time.Now())
+					return
+				case now := <-tick.C:
+					tv.Render(scope.Registry().Samples(), now)
+				}
+			}
+		}()
+	}
+	if collectTrace == nil {
+		collectTrace = func() []obs.NodeTrace {
+			return []obs.NodeTrace{{Node: "local", Events: scope.Tracer().Events()}}
+		}
 	}
 	return func() {
+		close(stopTop)
+		if topDone != nil {
+			<-topDone
+		}
+		if obsCfg.trace != "" {
+			writeTraceFile(obsCfg.trace, collectTrace())
+		}
 		if obsCfg.stats {
 			fmt.Println()
 			viz.StatsTable(os.Stdout, scope.Registry())
 		}
 		hs.Close()
 	}
+}
+
+// writeTraceFile merges the per-node trace rings into one Chrome trace
+// (chrome://tracing / Perfetto format) at path.
+func writeTraceFile(path string, nodes []obs.NodeTrace) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpnrun: -trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := obs.WriteMergedTrace(f, nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "dpnrun: -trace:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "merged trace (%d nodes) written to %s\n", len(nodes), path)
 }
 
 func main() {
@@ -111,6 +188,7 @@ func main() {
 		x        = flag.Float64("x", 2, "input for -graph sqrt")
 		workers  = flag.Int("workers", 4, "worker count for -graph factor")
 		static   = flag.Bool("static", false, "use static load balancing for -graph factor")
+		elastic  = flag.Bool("elastic", false, "run -graph factor through the elastic worker pool (local only)")
 		servers  = flag.String("servers", "", "comma-separated compute-server addresses for -graph factor")
 		registry = flag.String("registry", "", "registry address to resolve compute servers from")
 		bits     = flag.Int("bits", 256, "prime size for -graph factor")
@@ -119,11 +197,18 @@ func main() {
 		dot      = flag.Bool("dot", false, "for -graph factor: print the program graph in Graphviz DOT format and exit")
 		metrics  = flag.String("metrics", "", "observability HTTP listen address (serves /metrics and /trace while the graph runs)")
 		stats    = flag.Bool("stats", false, "print a per-channel/per-process summary table after the run")
+		top      = flag.Duration("top", 0, "live dpntop view: refresh interval for the per-channel rate/blocked-time table on stderr (0 disables), e.g. -top 1s")
+		pprofF   = flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof/ on the observability endpoint")
+		mutexF   = flag.Int("mutexprofile", 0, "mutex profile sampling fraction passed to runtime.SetMutexProfileFraction (0 leaves profiling off)")
+		traceOut = flag.String("trace", "", "write a merged multi-node Chrome trace (JSON) to this file after the run")
+		sample   = flag.Int("tracesample", 64, "with -trace: carry a causal trace mark on every Nth outbound data frame")
 		faultsF  = flag.String("faults", "", "inject network faults on this node's broker, e.g. seed=7,drop=0.01,latency=2ms,partition=1s:500ms,mode=stall")
 		resil    = flag.Bool("resilient", false, "resilient links: retry/backoff, heartbeats, resumable reconnect (set on every node or none)")
 	)
 	flag.Parse()
 	obsCfg.metrics, obsCfg.stats = *metrics, *stats
+	obsCfg.top, obsCfg.pprof, obsCfg.mutex = *top, *pprofF, *mutexF
+	obsCfg.trace, obsCfg.sample = *traceOut, *sample
 	chaosCfg.faults, chaosCfg.resilient = *faultsF, *resil
 	if *graph != "factor" {
 		warnChaosUnused()
@@ -159,6 +244,7 @@ func main() {
 		defer instrument(net)()
 		sink := graphs.Hamming(net, *n, 64)
 		mon := deadlock.New(net, time.Millisecond)
+		mon.DumpTo = os.Stderr
 		mon.Start()
 		wait(net)
 		mon.Stop()
@@ -175,7 +261,7 @@ func main() {
 			fmt.Printf("sqrt(%g) = %.17g\n", *x, v)
 		}
 	case "factor":
-		runFactor(*bits, *workers, *static, *servers, *registry, *validate, *dot)
+		runFactor(*bits, *workers, *static, *elastic, *servers, *registry, *validate, *dot)
 	case "cluster":
 		cfg := cluster.PaperConfig()
 		cluster.WriteTable2(os.Stdout, cfg)
@@ -199,15 +285,19 @@ func wait(n *core.Network) {
 	}
 }
 
-func runFactor(bits, workers int, static bool, serverList, registryAddr string, validate, dot bool) {
+func runFactor(bits, workers int, static, elastic bool, serverList, registryAddr string, validate, dot bool) {
 	key, err := factor.GenerateWeakKey(rand.New(rand.NewSource(time.Now().UnixNano())), bits,
 		int64(workers)*8, factor.DefaultBatch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpnrun:", err)
 		os.Exit(1)
 	}
+	name := balanceName(static)
+	if elastic {
+		name = "elastic"
+	}
 	fmt.Printf("searching for the factors of a %d-bit modulus with %d workers (%s balancing)\n",
-		key.N.BitLen(), workers, balanceName(static))
+		key.N.BitLen(), workers, name)
 
 	var addrs []string
 	if registryAddr != "" {
@@ -230,6 +320,9 @@ func runFactor(bits, workers int, static bool, serverList, registryAddr string, 
 		}
 		defer node.Close()
 		applyChaos(node.Broker)
+		if obsCfg.trace != "" {
+			node.Broker.SetTraceSampling(obsCfg.sample)
+		}
 	} else {
 		warnChaosUnused()
 	}
@@ -238,13 +331,53 @@ func runFactor(bits, workers int, static bool, serverList, registryAddr string, 
 		net = node.Net
 	}
 	defer instrument(net)()
+	if obsCfg.trace != "" && len(addrs) > 0 {
+		// Merge the servers' trace rings with ours: each remote ring is
+		// scraped over the "trace" RPC when the run finishes, and the
+		// per-node clocks are aligned on the causal wire-out → wire-in
+		// span pairs the sampled frames produced.
+		scope := net.Obs()
+		collectTrace = func() []obs.NodeTrace {
+			nodes := []obs.NodeTrace{{Node: "driver", Events: scope.Tracer().Events()}}
+			for _, addr := range addrs {
+				cl, err := server.Dial(addr)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dpnrun: -trace: server %s: %v\n", addr, err)
+					continue
+				}
+				evs, err := cl.TraceEvents()
+				cl.Close()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dpnrun: -trace: server %s: %v\n", addr, err)
+					continue
+				}
+				nodes = append(nodes, obs.NodeTrace{Node: addr, Events: evs})
+			}
+			return nodes
+		}
+	}
 
 	source := &factor.SearchSpace{N: key.N, Batch: factor.DefaultBatch}
 	var consumer *meta.Consumer
 	var workerProcs []*meta.Worker
 	var graphProcs []any
 	var spawnRest func()
-	if static {
+	if elastic {
+		if len(addrs) > 0 {
+			fmt.Fprintln(os.Stderr, "dpnrun: -elastic is local-only; drop -servers/-registry")
+			os.Exit(2)
+		}
+		e := meta.NewElastic(net, source, workers, 0, meta.PoolConfig{})
+		if obsCfg.trace != "" {
+			// Pool-level causal sampling: a sampled task's intake,
+			// dispatch, result and in-order emission become span events
+			// in the trace even without a network link in the run.
+			e.Pool.SetTraceSampling(obsCfg.sample)
+		}
+		consumer = e.Consumer
+		graphProcs = []any{e.Producer, e.Pool, e.Consumer}
+		spawnRest = func() { e.Spawn(net) }
+	} else if static {
 		st := meta.NewStatic(net, source, workers, 0)
 		consumer = st.Consumer
 		workerProcs = st.Workers

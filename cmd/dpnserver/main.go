@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,6 +46,9 @@ func main() {
 		statsEvery = flag.Duration("statsevery", 30*time.Second, "interval between stats log lines when -metrics is enabled")
 		faultsF    = flag.String("faults", "", "inject network faults on this server's broker, e.g. seed=7,drop=0.01,latency=2ms,partition=1s:500ms,mode=stall")
 		resil      = flag.Bool("resilient", false, "resilient links: retry/backoff, heartbeats, resumable reconnect (set on every node or none)")
+		pprofF     = flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof/ on the observability endpoint")
+		mutexF     = flag.Int("mutexprofile", 0, "mutex profile sampling fraction passed to runtime.SetMutexProfileFraction (0 leaves profiling off)")
+		sample     = flag.Int("tracesample", 0, "carry a causal trace mark on every Nth outbound data frame and record span events (0 disables)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,16 @@ func main() {
 	if *resil {
 		s.Node().Broker.SetResilience(netio.DefaultResilience())
 	}
+	if *mutexF > 0 {
+		runtime.SetMutexProfileFraction(*mutexF)
+	}
+	// Trace sampling works without -metrics: the ring is served to
+	// collectors over the "trace" RPC, not only over HTTP.
+	if *sample > 0 {
+		s.Node().Obs().Tracer().Enable()
+		s.Node().Broker.SetTraceSampling(*sample)
+		fmt.Printf("causal trace sampling: every %d outbound data frames\n", *sample)
+	}
 
 	if *metrics != "" {
 		scope := s.Node().Obs()
@@ -78,15 +92,25 @@ func main() {
 		// A deadlock monitor gives /metrics the §3.5 buffer-management
 		// stats. It is driven by our own ticker rather than Start() so
 		// it keeps watching across idle periods (Start's loop retires
-		// when the network has no live processes).
+		// when the network has no live processes). On a true-deadlock
+		// verdict it dumps the channel watermarks and a goroutine
+		// profile to stderr, so a wedged server explains itself.
 		mon := deadlock.New(s.Node().Net, 5*time.Millisecond)
-		hs, err := obs.ServeScope(*metrics, scope)
+		mon.DumpTo = os.Stderr
+		endpoints := "/metrics, /trace"
+		var hs *obs.HTTPServer
+		if *pprofF {
+			hs, err = obs.ServeDebugScope(*metrics, scope)
+			endpoints += ", /debug/pprof/"
+		} else {
+			hs, err = obs.ServeScope(*metrics, scope)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dpnserver: metrics:", err)
 			os.Exit(1)
 		}
 		defer hs.Close()
-		fmt.Printf("observability on http://%s/ (/metrics, /trace)\n", hs.Addr())
+		fmt.Printf("observability on http://%s/ (%s)\n", hs.Addr(), endpoints)
 		stop := make(chan struct{})
 		defer close(stop)
 		go func() {

@@ -37,6 +37,7 @@ func registerFamilies(reg *obs.Registry) {
 	reg.Help("dpn_conduit_block_seconds", "Duration of blocking waits, by op (read|write).")
 	reg.Help("dpn_conduit_tokens_total", "Typed elements moved through the conduit, by op (read|write).")
 	reg.Help("dpn_conduit_rebinds_total", "Transport rebinds performed on the conduit, by dir (source|sink).")
+	reg.Help("dpn_conduit_wait_ns_total", "Total nanoseconds blocked on the conduit, by op (read = consumer starved, write = producer throttled by a full buffer).")
 	for _, m := range conduitAliases {
 		reg.Alias(m[0], m[1])
 		reg.AliasHelp(m[0], "Deprecated alias of "+m[1]+".")
@@ -64,6 +65,8 @@ func NewInstruments(s *obs.Scope, name string) *stream.Instruments {
 		WriteBlocks:       reg.Counter("dpn_conduit_blocks_total", lbl, obs.L("op", "write")),
 		ReadBlockSeconds:  reg.Histogram("dpn_conduit_block_seconds", nil, lbl, obs.L("op", "read")),
 		WriteBlockSeconds: reg.Histogram("dpn_conduit_block_seconds", nil, lbl, obs.L("op", "write")),
+		ReadWaitNanos:     reg.Counter("dpn_conduit_wait_ns_total", lbl, obs.L("op", "read")),
+		WriteWaitNanos:    reg.Counter("dpn_conduit_wait_ns_total", lbl, obs.L("op", "write")),
 		Tracer:            s.Tracer(),
 		Name:              name,
 	}

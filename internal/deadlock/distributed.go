@@ -247,22 +247,41 @@ type MetricsSource interface {
 
 // GatherMetrics scrapes every peer that implements MetricsSource and
 // merges the expositions into one multi-node Prometheus document. Peers
-// without metrics support are skipped; a failing scrape is an error so
-// partial fleets are not mistaken for healthy ones.
+// without metrics support are skipped. A failing scrape (a lost peer
+// mid-outage, say) does not abort the gather: its absence is recorded
+// as a "# dpn:stale peer[i]: ..." comment line in the merged document,
+// so a dashboard or dpntop keeps showing the healthy fleet while making
+// the hole visible. Only when every scrapeable peer fails is an error
+// returned — an all-stale document would be mistaken for a healthy one.
 func (c *Coordinator) GatherMetrics() (string, error) {
 	var texts []string
+	var stale []string
+	var firstErr error
+	sources := 0
 	for i, p := range c.Peers {
 		ms, ok := p.(MetricsSource)
 		if !ok {
 			continue
 		}
+		sources++
 		txt, err := ms.MetricsText()
 		if err != nil {
-			return "", fmt.Errorf("deadlock: scraping peer %d: %w", i, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("deadlock: scraping peer %d: %w", i, err)
+			}
+			stale = append(stale, fmt.Sprintf("# dpn:stale peer[%d]: %v", i, err))
+			continue
 		}
 		texts = append(texts, txt)
 	}
+	if sources > 0 && len(texts) == 0 {
+		return "", firstErr
+	}
 	var b strings.Builder
+	for _, line := range stale {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
 	if err := obs.MergeProm(&b, texts...); err != nil {
 		return "", err
 	}

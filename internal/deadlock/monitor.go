@@ -14,6 +14,8 @@ package deadlock
 
 import (
 	"fmt"
+	"io"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -85,6 +87,12 @@ type Monitor struct {
 	// OnEvent, if set, is invoked for every resolution and for a true
 	// deadlock.
 	OnEvent func(Event)
+	// DumpTo, if set, receives a diagnostic dump when the monitor first
+	// reports a true deadlock: every channel's occupancy, blocked
+	// parties, and accumulated blocked-time watermarks, followed by a
+	// full goroutine profile. The commands point it at stderr so a
+	// wedged run explains itself without a debugger attached.
+	DumpTo io.Writer
 
 	mu     sync.Mutex
 	events []Event
@@ -258,6 +266,45 @@ func (m *Monitor) recordEdge(ev Event) {
 	}
 	m.mu.Unlock()
 	m.record(ev)
+	m.dump()
+}
+
+// dump writes the true-deadlock diagnostic to DumpTo: per-channel
+// occupancy, blocked readers/writers, and the blocked-time watermark
+// counters (dpn_conduit_wait_ns_total), then a goroutine profile. The
+// watermarks tell the operator *which* edge the network starved on and
+// for how long; the profile tells them where each process is parked.
+func (m *Monitor) dump() {
+	w := m.DumpTo
+	if w == nil {
+		return
+	}
+	waits := make(map[string][2]time.Duration)
+	for _, s := range m.scope.Registry().Samples() {
+		if s.Name != "dpn_conduit_wait_ns_total" {
+			continue
+		}
+		ch := s.Label("channel")
+		v := waits[ch]
+		if s.Label("op") == "read" {
+			v[0] = time.Duration(s.Value)
+		} else {
+			v[1] = time.Duration(s.Value)
+		}
+		waits[ch] = v
+	}
+	fmt.Fprintf(w, "dpn: true deadlock: every live process is blocked reading\n")
+	fmt.Fprintf(w, "dpn: channel watermarks:\n")
+	for _, ch := range m.net.Channels() {
+		p := ch.Pipe()
+		wt := waits[ch.Name()]
+		fmt.Fprintf(w, "dpn:   %-28s %5d/%-5d bytes  readers-blocked %d  writers-blocked %d  read-wait %v  write-wait %v\n",
+			ch.Name(), p.Len(), p.Cap(), p.BlockedReaders(), p.BlockedWriters(), wt[0], wt[1])
+	}
+	fmt.Fprintf(w, "dpn: goroutine profile:\n")
+	if pr := pprof.Lookup("goroutine"); pr != nil {
+		pr.WriteTo(w, 1)
+	}
 }
 
 func (m *Monitor) record(ev Event) {

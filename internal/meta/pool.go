@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpn/internal/conduit"
 	"dpn/internal/core"
 	"dpn/internal/obs"
+	"dpn/internal/stream"
 	"dpn/internal/token"
 )
 
@@ -77,6 +79,15 @@ type Pool struct {
 	dupC       *obs.Counter
 	emittedC   *obs.Counter
 	stragglerC *obs.Counter
+	latQueue   *obs.Histogram // intake → first dispatch
+	latService *obs.Histogram // latest dispatch → result
+	latTotal   *obs.Histogram // intake → in-order emission
+
+	// smp samples intaken tasks for causal tracing (nil = off). The
+	// sampled ID rides the seqMeta and is marked onto the lane's task
+	// pipe at dispatch, where the conduit/netio planes carry it across
+	// the wire as a TRACE frame.
+	smp atomic.Pointer[obs.Sampler]
 }
 
 // PoolConfig parameterizes a Pool.
@@ -124,12 +135,19 @@ type poolLane struct {
 	closed      bool // feed channel closed
 	tasksC      *obs.Counter
 	resultsC    *obs.Counter
+	// taskPipe is the lane task channel's buffer pipe; dispatch marks
+	// sampled trace IDs onto it so the transport (local or netio) can
+	// attribute the next chunk it moves to the sampled task.
+	taskPipe *stream.Pipe
 }
 
 // seqMeta tracks one intaken task until its result is committed.
 type seqMeta struct {
 	block  []byte
+	intake time.Time    // time the task entered the pool
+	first  time.Time    // time of first dispatch (zero until then)
 	at     time.Time    // time of latest dispatch
+	trace  uint64       // sampled causal trace ID (0 = unsampled)
 	lanes  map[int]bool // lanes currently holding this task
 	queued bool
 }
@@ -156,6 +174,16 @@ func NewPool(n *core.Network, cfg PoolConfig) *Pool {
 
 // ProcessName implements core.Namer.
 func (p *Pool) ProcessName() string { return "Pool" }
+
+// SetTraceSampling turns on causal tracing for every Nth intaken task
+// (0 or negative turns it off). A sampled task records span events at
+// intake, dispatch, result, and emission, and its trace ID is marked
+// onto the dispatched lane's task pipe so a netio transport underneath
+// forwards it as a TRACE frame — the task's journey is then
+// reconstructable across nodes with obs.WriteMergedTrace.
+func (p *Pool) SetTraceSampling(every int) {
+	p.smp.Store(obs.NewSampler(every))
+}
 
 // LiveLanes reports the number of live lanes (dispatchable or
 // draining).
@@ -212,9 +240,10 @@ func (p *Pool) AddLane(tag string, start func(in *core.ReadPort, out *core.Write
 	taskCh := p.net.NewChannel(fmt.Sprintf("pool:%s:task", tag), p.cfg.Capacity)
 	resultCh := p.net.NewChannel(fmt.Sprintf("pool:%s:result", tag), p.cfg.Capacity)
 	ln := &poolLane{
-		id:   id,
-		tag:  tag,
-		feed: make(chan []byte, p.cfg.MaxInFlight),
+		id:       id,
+		tag:      tag,
+		feed:     make(chan []byte, p.cfg.MaxInFlight),
+		taskPipe: taskCh.Pipe(),
 	}
 	// Register with the manager before any lane goroutine can produce an
 	// arrival, so every arrival finds its lane.
@@ -280,11 +309,19 @@ type poolState struct {
 	lanes   map[int]*poolLane
 	order   []int // live lane ids, ascending (deterministic dispatch scan)
 	pending map[int64]*seqMeta
-	results map[int64][]byte
+	results map[int64]poolResult
 	queue   []int64
 	nextSeq int64
 	emit    int64
 	intake  bool // intake stream still open
+}
+
+// poolResult is a committed result waiting in the reorder buffer, with
+// the latency/trace context it inherited from its seqMeta.
+type poolResult struct {
+	block  []byte
+	intake time.Time
+	trace  uint64
 }
 
 func (p *Pool) joinLane(ln *poolLane) {
@@ -425,7 +462,11 @@ func (p *Pool) handleArrival(a poolArrival) {
 		return
 	}
 	delete(st.pending, seq)
-	st.results[seq] = a.block
+	p.latService.Observe(time.Since(m.at).Seconds())
+	if m.trace != 0 {
+		p.scope.Record(obs.EvSpan, "pool:"+ln.tag, "result", int64(m.trace))
+	}
+	st.results[seq] = poolResult{block: a.block, intake: m.intake, trace: m.trace}
 	p.scope.Record(obs.EvTask, "pool:"+ln.tag, "result", seq)
 }
 
@@ -450,8 +491,16 @@ func (p *Pool) dispatch(now time.Time) {
 		}
 		m.queued = false
 		m.at = now
+		if m.first.IsZero() {
+			m.first = now
+			p.latQueue.Observe(now.Sub(m.intake).Seconds())
+		}
 		m.lanes[target.id] = true
 		target.outstanding = append(target.outstanding, seq)
+		if m.trace != 0 {
+			target.taskPipe.MarkTrace(m.trace)
+			p.scope.Record(obs.EvSpan, "pool:"+target.tag, "dispatch", int64(m.trace))
+		}
 		target.feed <- m.block
 		target.tasksC.Inc()
 		p.inflightG.Add(1)
@@ -531,16 +580,20 @@ func (p *Pool) checkStragglers(now time.Time) {
 func (p *Pool) emit(w *token.Writer) error {
 	st := p.state
 	for {
-		b, ok := st.results[st.emit]
+		r, ok := st.results[st.emit]
 		if !ok {
 			return nil
 		}
-		if err := w.WriteBlock(b); err != nil {
+		if err := w.WriteBlock(r.block); err != nil {
 			return err
 		}
 		delete(st.results, st.emit)
 		st.emit++
 		p.emittedC.Inc()
+		p.latTotal.Observe(time.Since(r.intake).Seconds())
+		if r.trace != 0 {
+			p.scope.Record(obs.EvSpan, "pool", "emit", int64(r.trace))
+		}
 	}
 }
 
@@ -583,6 +636,10 @@ func (p *Pool) bindObs(env *core.Env) {
 	p.emittedC = reg.Counter("dpn_pool_emitted_total")
 	p.stragglerC = reg.Counter("dpn_pool_stragglers_total")
 	reg.Help("dpn_pool_stragglers_total", "Straggler deadline expiries observed.")
+	reg.Help("dpn_pool_latency_seconds", "Task latency distribution, by stage (queue = intake to first dispatch, service = latest dispatch to result, total = intake to in-order emission).")
+	p.latQueue = reg.Histogram("dpn_pool_latency_seconds", nil, obs.L("stage", "queue"))
+	p.latService = reg.Histogram("dpn_pool_latency_seconds", nil, obs.L("stage", "service"))
+	p.latTotal = reg.Histogram("dpn_pool_latency_seconds", nil, obs.L("stage", "total"))
 }
 
 // Run implements core.Process: the pool manager.
@@ -591,7 +648,7 @@ func (p *Pool) Run(env *core.Env) error {
 	p.state = &poolState{
 		lanes:   make(map[int]*poolLane),
 		pending: make(map[int64]*seqMeta),
-		results: make(map[int64][]byte),
+		results: make(map[int64]poolResult),
 		intake:  true,
 	}
 	defer func() {
@@ -676,7 +733,14 @@ func (p *Pool) Run(env *core.Env) error {
 			}
 			seq := st.nextSeq
 			st.nextSeq++
-			st.pending[seq] = &seqMeta{block: b, lanes: make(map[int]bool), queued: true}
+			m := &seqMeta{block: b, intake: time.Now(), lanes: make(map[int]bool), queued: true}
+			if smp := p.smp.Load(); smp != nil {
+				if id := smp.Sample(); id != 0 {
+					m.trace = id
+					p.scope.Record(obs.EvSpan, "pool", "intake", int64(id))
+				}
+			}
+			st.pending[seq] = m
 			st.queue = append(st.queue, seq)
 		case a := <-p.arrivals:
 			if st.lanes[a.lane] == nil {

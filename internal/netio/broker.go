@@ -59,6 +59,10 @@ type Broker struct {
 	flt atomic.Pointer[faults.Injector]
 	res atomic.Pointer[Resilience]
 
+	// smp is the causal-trace auto-sampler (nil = no auto-sampling);
+	// outbound links consult it per DATA frame.
+	smp atomic.Pointer[obs.Sampler]
+
 	acceptDone chan struct{}
 }
 
@@ -117,6 +121,20 @@ func (b *Broker) SetResilience(r Resilience) {
 func (b *Broker) resilience() *Resilience {
 	return b.res.Load()
 }
+
+// SetTraceSampling arranges for every Nth outbound DATA frame of every
+// link on this broker to carry a fresh causal trace ID (a TRACE frame
+// ahead of the data), in addition to any marks applied upstream by
+// trace-aware producers (pool dispatch). every <= 0 disables
+// auto-sampling. Trace frames ride outside the credit and offset
+// accounting and are never replayed after a reconnect — sampling is
+// best-effort by design, so the disabled path stays free.
+func (b *Broker) SetTraceSampling(every int) {
+	b.smp.Store(obs.NewSampler(every))
+}
+
+// traceSampler returns the active auto-sampler, nil when disabled.
+func (b *Broker) traceSampler() *obs.Sampler { return b.smp.Load() }
 
 // SetPendingTTL adjusts how long an early connection (one whose token
 // has no registered endpoint yet) is parked before being dropped.

@@ -36,6 +36,7 @@ const (
 	frameBeat      = 'B' // idle heartbeat (both directions, resilient links only)
 	frameResume    = 'S' // off — receiver's delivered offset; opens every resilient conn
 	frameBye       = 'Y' // reader confirms EOF/REDIRECT receipt (resilient links only)
+	frameTrace     = 'T' // id — causal trace mark for the next DATA frame (sampled, best-effort)
 )
 
 // maxFramePayload bounds frame payloads defensively.
@@ -56,7 +57,7 @@ type frame struct {
 	kind    byte
 	payload []byte // DATA; its length is the credit amount for ACK writes
 	ack     int    // ACK — bytes consumed by the receiver
-	off     uint64 // RESUME — receiver's delivered stream offset
+	off     uint64 // RESUME — receiver's delivered stream offset; TRACE — trace ID
 	token   string // HELLO, REDIRECT, MOVING
 	addr    string // HELLO (sender's broker), MOVING (new reader host)
 }
@@ -75,7 +76,7 @@ func encodeFrame(dst []byte, f frame) ([]byte, error) {
 		return dst, nil
 	case frameAck:
 		return binary.BigEndian.AppendUint32(dst, uint32(f.ack)), nil
-	case frameResume:
+	case frameResume, frameTrace:
 		return binary.BigEndian.AppendUint64(dst, f.off), nil
 	case frameRedirect:
 		return appendString(dst, f.token), nil
@@ -155,7 +156,7 @@ func readFrameInto(r io.Reader, scratch []byte) (frame, error) {
 			return frame{}, unexpected(err)
 		}
 		f.ack = int(binary.BigEndian.Uint32(scratch[1:5]))
-	case frameResume:
+	case frameResume, frameTrace:
 		if _, err := io.ReadFull(r, scratch[1:9]); err != nil {
 			return frame{}, unexpected(err)
 		}

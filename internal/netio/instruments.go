@@ -22,6 +22,7 @@ var frameKinds = []struct {
 	{frameBeat, "beat"},
 	{frameResume, "resume"},
 	{frameBye, "bye"},
+	{frameTrace, "trace"},
 }
 
 func frameKindName(kind byte) string {
@@ -153,6 +154,13 @@ func (b *Broker) noteLink(event string) {
 		ins.linkFailures.Inc()
 	}
 	ins.tracer.Record(obs.EvLink, "link", event, 0)
+}
+
+// noteSpan records one causal-trace span hop (detail "wire-out" or
+// "wire-in") for the multi-node trace merge; subject is the link's
+// rendezvous token, which names the same conduit edge on both peers.
+func (b *Broker) noteSpan(subject, detail string, traceID uint64) {
+	b.ins.Load().tracer.Record(obs.EvSpan, subject, detail, int64(traceID))
 }
 
 // noteCreditStall counts one flow-control wait on an outbound link.

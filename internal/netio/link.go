@@ -277,12 +277,20 @@ func (b *Broker) ServeOutbound(token string, src io.ReadCloser, window int) (*Ha
 	return h, nil
 }
 
+// traceTaker and traceMarker mirror stream.TraceTaker/TraceMarker
+// structurally, so links stay decoupled from the stream package while
+// still propagating causal trace marks across the wire.
+type traceTaker interface{ TakeTraceMark() uint64 }
+type traceMarker interface{ MarkTrace(id uint64) }
+
 func (b *Broker) newOutbound(h *Handle, src io.ReadCloser, window int, serve bool, addr, token string) *outboundLink {
 	res := b.resilience()
 	w := normWindow(window)
+	tt, _ := src.(traceTaker)
 	return &outboundLink{
 		h:         h,
 		src:       src,
+		traceSrc:  tt,
 		window:    w,
 		frameMax:  normFrameMax(w),
 		res:       res,
@@ -359,9 +367,11 @@ func (b *Broker) ServeInbound(token string, dst io.WriteCloser) (*Handle, error)
 
 func (b *Broker) newInbound(h *Handle, dst io.WriteCloser, serve bool, addr, token string) *inboundLink {
 	res := b.resilience()
+	tm, _ := dst.(traceMarker)
 	return &inboundLink{
 		h:         h,
 		dst:       dst,
+		traceDst:  tm,
 		res:       res,
 		rng:       newLinkRNG(res),
 		serveRole: serve,
@@ -473,6 +483,8 @@ type sentChunk struct {
 type outboundLink struct {
 	h   *Handle
 	src io.ReadCloser
+	// traceSrc is src's trace-mark tap, nil when src is not trace-aware.
+	traceSrc traceTaker
 
 	mu            sync.Mutex
 	redirectToken string
@@ -579,6 +591,18 @@ func (o *outboundLink) writeData(conn net.Conn, c outChunk) error {
 	binary.BigEndian.PutUint32(full[1:frameHdrLen], uint32(len(c.data)))
 	_, err := conn.Write(full)
 	return err
+}
+
+// takeTrace claims the trace ID for the DATA frame about to be sent: a
+// mark set upstream wins; otherwise the broker's auto-sampler may mint
+// one. Both paths are one atomic load in the unsampled case.
+func (o *outboundLink) takeTrace() uint64 {
+	if o.traceSrc != nil {
+		if id := o.traceSrc.TakeTraceMark(); id != 0 {
+			return id
+		}
+	}
+	return o.h.b.traceSampler().Sample()
 }
 
 // coalesce merges chunks already queued behind o.pending into its
@@ -928,6 +952,29 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 				o.h.b.noteFrame(frameBeat, true, 0)
 			}
 		}
+		// A pending trace mark (set upstream on the pipe, or minted by
+		// the broker's auto-sampler) rides ahead of the DATA frame it
+		// tags. Trace frames carry no credit or offset and never enter
+		// the replay buffer — a mark lost to a reconnect just means that
+		// batch goes unsampled.
+		if id := o.takeTrace(); id != 0 {
+			// Record the span before the frame is flushed: on a fast
+			// loopback the receiver can decode and stamp wire-in before
+			// this goroutine resumes, and a wire-out stamped after the
+			// write would then read later than its own wire-in, breaking
+			// the causal edge the merge aligns clocks on.
+			o.h.b.noteSpan(o.token, "wire-out", id)
+			if err := o.writeLink(conn, frame{kind: frameTrace, off: id}); err != nil {
+				conn.Close()
+				if o.res != nil {
+					return sessFailed, nil, progressed
+				}
+				o.src.Close()
+				o.h.finish(fmt.Errorf("netio: send failed: %w", err))
+				return sessDone, nil, progressed
+			}
+			o.h.b.noteFrame(frameTrace, true, 0)
+		}
 		chunk := o.pending
 		if err := o.writeData(conn, chunk); err != nil {
 			conn.Close()
@@ -1058,6 +1105,8 @@ func drainCtrl(conn net.Conn, ctrl <-chan ctrlEvent) {
 type inboundLink struct {
 	h   *Handle
 	dst io.WriteCloser
+	// traceDst is dst's trace-mark tap, nil when dst is not trace-aware.
+	traceDst traceMarker
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -1227,6 +1276,16 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 		switch f.kind {
 		case frameBeat:
 			// Liveness only.
+		case frameTrace:
+			// Causal trace mark for the next DATA frame: record the
+			// wire-in span (the receiving half of the conduit edge the
+			// multi-node merge aligns on) and re-mark the local pipe so
+			// the trace survives further hops. Trace frames carry no
+			// credit and do not advance the delivered offset.
+			i.h.b.noteSpan(i.token, "wire-in", f.off)
+			if i.traceDst != nil {
+				i.traceDst.MarkTrace(f.off)
+			}
 		case frameData:
 			if _, err := i.dst.Write(f.payload); err != nil {
 				// Local reader closed: cascade upstream (§3.4).

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -23,6 +24,18 @@ type HTTPServer struct {
 // "127.0.0.1:0" to pick a free port). metrics writes the exposition;
 // trace writes the trace JSON; either may be nil to disable that path.
 func ServeHTTP(addr string, metrics, trace func(io.Writer) error) (*HTTPServer, error) {
+	return serve(addr, metrics, trace, false)
+}
+
+// ServeDebugHTTP is ServeHTTP with the net/http/pprof profiling
+// handlers mounted under /debug/pprof/, so a node's CPU, heap, mutex,
+// and goroutine profiles are reachable through the same mux as its
+// metrics.
+func ServeDebugHTTP(addr string, metrics, trace func(io.Writer) error) (*HTTPServer, error) {
+	return serve(addr, metrics, trace, true)
+}
+
+func serve(addr string, metrics, trace func(io.Writer) error, debug bool) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -36,8 +49,11 @@ func ServeHTTP(addr string, metrics, trace func(io.Writer) error) (*HTTPServer, 
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, `<html><body><h1>dpn observability</h1>`+
 			`<p><a href="/metrics">/metrics</a> Prometheus text exposition</p>`+
-			`<p><a href="/trace">/trace</a> Chrome trace_event JSON (load in chrome://tracing or Perfetto)</p>`+
-			`</body></html>`)
+			`<p><a href="/trace">/trace</a> Chrome trace_event JSON (load in chrome://tracing or Perfetto)</p>`)
+		if debug {
+			fmt.Fprint(w, `<p><a href="/debug/pprof/">/debug/pprof/</a> Go runtime profiles</p>`)
+		}
+		fmt.Fprint(w, `</body></html>`)
 	})
 	if metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -56,6 +72,13 @@ func ServeHTTP(addr string, metrics, trace func(io.Writer) error) (*HTTPServer, 
 			}
 		})
 	}
+	if debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s := &HTTPServer{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
@@ -71,6 +94,12 @@ func ServeHTTP(addr string, metrics, trace func(io.Writer) error) (*HTTPServer, 
 // ServeScope starts the observability endpoint for one scope.
 func ServeScope(addr string, scope *Scope) (*HTTPServer, error) {
 	return ServeHTTP(addr, scope.WriteProm, scope.WriteTrace)
+}
+
+// ServeDebugScope starts the observability endpoint for one scope with
+// the pprof handlers mounted (see ServeDebugHTTP).
+func ServeDebugScope(addr string, scope *Scope) (*HTTPServer, error) {
+	return ServeDebugHTTP(addr, scope.WriteProm, scope.WriteTrace)
 }
 
 // Addr returns the endpoint's listen address.

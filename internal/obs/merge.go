@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"io"
+	"sort"
+)
+
+// NodeTrace is one node's contribution to a merged cluster trace: the
+// node's identity (its broker address) and its event-ring snapshot.
+// Timestamps are node-local nanoseconds since that tracer's epoch;
+// WriteMergedTrace aligns them.
+type NodeTrace struct {
+	Node   string
+	Events []Event
+}
+
+// spanEdge is one matched causal conduit edge: the k-th wire-out of a
+// trace ID on some node paired with the k-th wire-in of the same ID on
+// another.
+type spanEdge struct {
+	from, to int   // node indices
+	outTS    int64 // sender-local
+	inTS     int64 // receiver-local
+}
+
+// matchEdges pairs wire-out and wire-in span events by trace ID and
+// occurrence order. A sampled DATA frame records exactly one wire-out on
+// the sending node and one wire-in on the receiving node with a fresh
+// trace ID, so ordered pairing per ID reconstructs the edges without
+// any knowledge of the channel topology.
+func matchEdges(nodes []NodeTrace) []spanEdge {
+	type hop struct {
+		node int
+		ts   int64
+	}
+	outs := make(map[int64][]hop)
+	ins := make(map[int64][]hop)
+	for ni, nt := range nodes {
+		for _, ev := range nt.Events {
+			if ev.Type != EvSpan {
+				continue
+			}
+			switch ev.Detail {
+			case "wire-out":
+				outs[ev.Arg] = append(outs[ev.Arg], hop{ni, ev.TS})
+			case "wire-in":
+				ins[ev.Arg] = append(ins[ev.Arg], hop{ni, ev.TS})
+			}
+		}
+	}
+	var edges []spanEdge
+	for id, os := range outs {
+		is := ins[id]
+		sort.Slice(os, func(i, j int) bool { return os[i].ts < os[j].ts })
+		sort.Slice(is, func(i, j int) bool { return is[i].ts < is[j].ts })
+		for k := 0; k < len(os) && k < len(is); k++ {
+			if os[k].node == is[k].node {
+				continue
+			}
+			edges = append(edges, spanEdge{
+				from: os[k].node, to: is[k].node,
+				outTS: os[k].ts, inTS: is[k].ts,
+			})
+		}
+	}
+	return edges
+}
+
+// alignOffsets computes a per-node timestamp shift (nanoseconds) such
+// that every matched causal edge is ordered: a frame's wire-in renders
+// after its wire-out. This is the Logical Synchrony idea in miniature —
+// the channels themselves carry the clock, so no wall-clock
+// synchronization between nodes is needed. Offsets only ever grow
+// (fixpoint iteration with a cap for cyclic graphs), and the minimum
+// shift settles at zero so the earliest node keeps its own timeline.
+func alignOffsets(nodes []NodeTrace, edges []spanEdge) []int64 {
+	off := make([]int64, len(nodes))
+	// A causal edge implies in + off[to] > out + off[from]; grant the
+	// wire at least wireSlack of rendered latency so the arrows point
+	// forward even between perfectly aligned clocks.
+	const wireSlack = 1_000 // 1µs
+	for pass := 0; pass < 4*len(nodes)+4; pass++ {
+		changed := false
+		for _, e := range edges {
+			want := e.outTS + off[e.from] + wireSlack
+			if e.inTS+off[e.to] < want {
+				off[e.to] = want - e.inTS
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	min := int64(0)
+	for i, v := range off {
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	for i := range off {
+		off[i] -= min
+	}
+	return off
+}
+
+// WriteMergedTrace merges the event rings of several nodes into one
+// Chrome trace_event JSON document: each node becomes a process (with
+// its address as the process name), node-local clocks are aligned on
+// the causal conduit edges recorded by trace sampling, and matched
+// wire-out → wire-in span pairs are connected with flow arrows so a
+// sampled token batch's journey reads across processes.
+func WriteMergedTrace(w io.Writer, nodes []NodeTrace) error {
+	edges := matchEdges(nodes)
+	off := alignOffsets(nodes, edges)
+
+	var out []traceEvent
+	for ni, nt := range nodes {
+		pid := ni + 1
+		out = append(out, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": nt.Node},
+		})
+		tids := make(map[string]int)
+		out = appendTraceEvents(out, nt.Events, pid, off[ni], tids)
+	}
+	// Flow arrows ride on the span instants: one start ("s") at the
+	// wire-out, one end ("f") at the wire-in, joined by a shared id.
+	for i, e := range edges {
+		out = append(out,
+			traceEvent{
+				Name: "trace", Cat: "span", Ph: "s", ID: i + 1,
+				TS: float64(e.outTS+off[e.from]) / 1e3, PID: e.from + 1, TID: 1,
+			},
+			traceEvent{
+				Name: "trace", Cat: "span", Ph: "f", BP: "e", ID: i + 1,
+				TS: float64(e.inTS+off[e.to]) / 1e3, PID: e.to + 1, TID: 1,
+			})
+	}
+	return writeTraceJSON(w, out)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses a Chrome trace document back into its entries.
+func decodeTrace(t *testing.T, doc string) []traceEvent {
+	t.Helper()
+	var parsed struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, doc)
+	}
+	return parsed.TraceEvents
+}
+
+// Two nodes whose clocks disagree wildly: node B's tracer epoch makes
+// the wire-in of a sampled frame appear *before* the wire-out on node
+// A. The merge must shift B so every causal edge reads forward.
+func TestWriteMergedTraceCausalOrder(t *testing.T) {
+	const id = 0x1234
+	nodes := []NodeTrace{
+		{Node: "nodeA:7001", Events: []Event{
+			{TS: 5_000_000, Type: EvSpan, Name: "tok", Detail: "wire-out", Arg: id},
+		}},
+		{Node: "nodeB:7002", Events: []Event{
+			{TS: 1_000, Type: EvSpan, Name: "tok", Detail: "wire-in", Arg: id},
+			{TS: 2_000, Type: EvTask, Name: "pool:lane0", Detail: "result", Arg: 7},
+		}},
+	}
+	var b strings.Builder
+	if err := WriteMergedTrace(&b, nodes); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, b.String())
+
+	var outTS, inTS, resultTS float64
+	var haveFlowS, haveFlowF bool
+	procs := make(map[int]string)
+	for _, ev := range evs {
+		switch {
+		case ev.Name == "process_name" && ev.Ph == "M":
+			procs[ev.PID] = ev.Args["name"].(string)
+		case ev.Name == "span" && ev.Ph == "i":
+			if ev.Args["detail"] == "wire-out" {
+				outTS = ev.TS
+			}
+			if ev.Args["detail"] == "wire-in" {
+				inTS = ev.TS
+			}
+		case ev.Name == "task" && ev.Ph == "i":
+			resultTS = ev.TS
+		case ev.Ph == "s":
+			haveFlowS = true
+		case ev.Ph == "f":
+			haveFlowF = true
+			if ev.BP != "e" {
+				t.Errorf("flow end missing bp=e: %+v", ev)
+			}
+		}
+	}
+	if procs[1] != "nodeA:7001" || procs[2] != "nodeB:7002" {
+		t.Fatalf("process metadata = %v", procs)
+	}
+	if !(inTS > outTS) {
+		t.Fatalf("causal order violated: wire-in %v <= wire-out %v", inTS, outTS)
+	}
+	if !(resultTS > inTS) {
+		t.Fatalf("node-local order broken by the shift: result %v <= wire-in %v", resultTS, inTS)
+	}
+	if !haveFlowS || !haveFlowF {
+		t.Fatal("flow arrow events missing")
+	}
+}
+
+// A node whose clock is already ahead must not be shifted: the fixpoint
+// only raises offsets, and the minimum settles at zero.
+func TestWriteMergedTraceAlreadyOrdered(t *testing.T) {
+	nodes := []NodeTrace{
+		{Node: "a", Events: []Event{{TS: 100, Type: EvSpan, Name: "t", Detail: "wire-out", Arg: 9}}},
+		{Node: "b", Events: []Event{{TS: 9_000_000, Type: EvSpan, Name: "t", Detail: "wire-in", Arg: 9}}},
+	}
+	var b strings.Builder
+	if err := WriteMergedTrace(&b, nodes); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeTrace(t, b.String()) {
+		if ev.Ph != "i" {
+			continue
+		}
+		switch ev.Args["detail"] {
+		case "wire-out":
+			if ev.TS != 0.1 {
+				t.Errorf("wire-out shifted: ts=%v", ev.TS)
+			}
+		case "wire-in":
+			if ev.TS != 9000 {
+				t.Errorf("wire-in shifted: ts=%v", ev.TS)
+			}
+		}
+	}
+}
+
+// Same trace ID seen k times pairs the k-th out with the k-th in, and
+// same-node pairs (a local hop recorded by both ends of a loopback
+// link) are skipped rather than fabricating an edge.
+func TestMatchEdgesOrderedPairing(t *testing.T) {
+	nodes := []NodeTrace{
+		{Node: "a", Events: []Event{
+			{TS: 10, Type: EvSpan, Name: "t", Detail: "wire-out", Arg: 5},
+			{TS: 30, Type: EvSpan, Name: "t", Detail: "wire-out", Arg: 5},
+		}},
+		{Node: "b", Events: []Event{
+			{TS: 1, Type: EvSpan, Name: "t", Detail: "wire-in", Arg: 5},
+			{TS: 2, Type: EvSpan, Name: "t", Detail: "wire-in", Arg: 5},
+		}},
+	}
+	edges := matchEdges(nodes)
+	if len(edges) != 2 {
+		t.Fatalf("edges = %d, want 2", len(edges))
+	}
+	for _, e := range edges {
+		if e.from != 0 || e.to != 1 {
+			t.Fatalf("edge direction = %+v", e)
+		}
+	}
+	if !(edges[0].outTS <= edges[1].outTS && edges[0].inTS <= edges[1].inTS) {
+		t.Fatalf("pairing not ordered: %+v", edges)
+	}
+}

@@ -16,7 +16,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -231,11 +233,52 @@ type Registry struct {
 	// aliases maps an exposition-only metric name to the family whose
 	// series it mirrors (see Alias).
 	aliases map[string]string
+	// seriesLimit caps the distinct label sets per family (see
+	// SetSeriesLimit); dropped counts series refused at the cap, and
+	// warned remembers which families already logged the one-line
+	// warning.
+	seriesLimit int
+	dropped     int64
+	warned      map[string]bool
 }
+
+// DefaultSeriesLimit is the per-family label-set cap applied to new
+// registries. High-cardinality label values (per-task IDs, peer
+// addresses under churn) otherwise grow the exposition without bound.
+const DefaultSeriesLimit = 256
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{
+		families:    make(map[string]*family),
+		seriesLimit: DefaultSeriesLimit,
+		warned:      make(map[string]bool),
+	}
+}
+
+// SetSeriesLimit changes the per-family cap on distinct label sets
+// (n <= 0 removes the cap). Lookups beyond the cap warn once per family
+// on stderr, count into dpn_obs_dropped_series_total, and hand the
+// caller a detached instrument, so exposition memory stays bounded and
+// callers never fail.
+func (r *Registry) SetSeriesLimit(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seriesLimit = n
+	r.mu.Unlock()
+}
+
+// DroppedSeries reports how many series lookups were refused by the
+// cardinality cap.
+func (r *Registry) DroppedSeries() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // labelKey renders labels (sorted by key) into a canonical map key.
@@ -284,6 +327,19 @@ func (r *Registry) lookup(name string, kind Kind, bounds []float64, labels []Lab
 	}
 	s := f.series[key]
 	if s == nil {
+		if r.seriesLimit > 0 && len(f.series) >= r.seriesLimit {
+			r.dropped++
+			if r.warned == nil {
+				r.warned = make(map[string]bool)
+			}
+			if !r.warned[name] {
+				r.warned[name] = true
+				fmt.Fprintf(os.Stderr,
+					"obs: family %s hit the %d-series cardinality cap; further label sets are dropped\n",
+					name, r.seriesLimit)
+			}
+			return nil
+		}
 		s = &series{labels: labels}
 		switch kind {
 		case KindCounter:
@@ -303,7 +359,7 @@ func (r *Registry) lookup(name string, kind Kind, bounds []float64, labels []Lab
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	s := r.lookup(name, KindCounter, nil, labels)
 	if s == nil {
-		return &Counter{} // detached: kind mismatch or nil registry
+		return &Counter{} // detached: kind mismatch, cardinality cap, or nil registry
 	}
 	return s.counter
 }
@@ -435,7 +491,12 @@ func (r *Registry) Samples() []Sample {
 				}
 			}
 		}
-		sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	}
+	// The cardinality guard's drop count is materialized as a synthetic
+	// series so scrapes surface the data loss itself.
+	if r.dropped > 0 {
+		out = append(out, Sample{Name: "dpn_obs_dropped_series_total", Kind: KindCounter, Value: r.dropped})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -49,6 +49,12 @@ const (
 	// EvLink marks a network-link lifecycle event (Detail "retry",
 	// "miss", "heal", or "fail").
 	EvLink
+	// EvSpan marks one hop of a sampled causal trace (Name is the
+	// subject — channel or pool stage —, Detail the hop kind: "intake",
+	// "dispatch", "wire-out", "wire-in", "result", or "emit"; Arg is the
+	// trace ID). Matching wire-out/wire-in pairs are the causal conduit
+	// edges the multi-node trace merge aligns clocks on.
+	EvSpan
 )
 
 var evNames = [...]string{
@@ -66,6 +72,7 @@ var evNames = [...]string{
 	EvTask:     "task",
 	EvRPC:      "rpc",
 	EvLink:     "link",
+	EvSpan:     "span",
 }
 
 func (t EventType) String() string {
@@ -92,6 +99,8 @@ func (t EventType) cat() string {
 		return "meta"
 	case EvRPC:
 		return "rpc"
+	case EvSpan:
+		return "span"
 	default:
 		return "runtime"
 	}
@@ -224,7 +233,8 @@ func (t *Tracer) Events() []Event {
 }
 
 // traceEvent is one entry of the Chrome trace_event JSON format, as
-// consumed by chrome://tracing and Perfetto.
+// consumed by chrome://tracing and Perfetto. ID and BP serve the flow
+// events ("s"/"f" phases) the multi-node merge uses for causal arrows.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
@@ -233,24 +243,23 @@ type traceEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteTrace exports the ring contents as Chrome trace_event JSON. Each
-// distinct event subject (channel, process, …) becomes one named track,
-// so per-channel and per-process timelines line up visually.
-func (t *Tracer) WriteTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	events := t.Events()
-	tids := make(map[string]int)
-	out := make([]traceEvent, 0, len(events)+8)
+// appendTraceEvents converts events into Chrome trace entries under the
+// given pid, shifting timestamps by shift nanoseconds (the multi-node
+// merge's clock alignment) and assigning one tid per distinct subject
+// via tids. New subjects emit a thread_name metadata entry.
+func appendTraceEvents(out []traceEvent, events []Event, pid int, shift int64, tids map[string]int) []traceEvent {
 	for _, ev := range events {
 		tid, ok := tids[ev.Name]
 		if !ok {
 			tid = len(tids) + 1
 			tids[ev.Name] = tid
 			out = append(out, traceEvent{
-				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
 				Args: map[string]any{"name": ev.Name},
 			})
 		}
@@ -259,8 +268,8 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 			Cat:  ev.Type.cat(),
 			Ph:   "i",
 			S:    "t",
-			TS:   float64(ev.TS) / 1e3,
-			PID:  1,
+			TS:   float64(ev.TS+shift) / 1e3,
+			PID:  pid,
 			TID:  tid,
 			Args: map[string]any{"subject": ev.Name, "arg": ev.Arg},
 		}
@@ -269,6 +278,13 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		}
 		out = append(out, te)
 	}
+	return out
+}
+
+// writeTraceJSON writes the assembled entries as one Chrome trace_event
+// JSON document.
+func writeTraceJSON(w io.Writer, out []traceEvent) error {
+	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":`); err != nil {
 		return err
 	}
@@ -282,4 +298,14 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// WriteTrace exports the ring contents as Chrome trace_event JSON. Each
+// distinct event subject (channel, process, …) becomes one named track,
+// so per-channel and per-process timelines line up visually.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	events := t.Events()
+	tids := make(map[string]int)
+	out := appendTraceEvents(make([]traceEvent, 0, len(events)+8), events, 1, 0, tids)
+	return writeTraceJSON(w, out)
 }

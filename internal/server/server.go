@@ -32,7 +32,7 @@ import (
 
 // Request is one RPC request.
 type Request struct {
-	Kind     string // "ping", "info", "run", "call", "live", "errors", "dstatus", "grow", "metrics"
+	Kind     string // "ping", "info", "run", "call", "live", "errors", "dstatus", "grow", "metrics", "trace"
 	Parcel   *wire.Parcel
 	TaskBlob []byte
 	Channel  string // "grow": channel name
@@ -51,6 +51,9 @@ type Response struct {
 	GrownCap   int
 	// MetricsText carries the node's Prometheus exposition ("metrics").
 	MetricsText string
+	// Events carries the node's trace-ring snapshot ("trace"), used by
+	// the multi-node Chrome-trace merge (obs.WriteMergedTrace).
+	Events []obs.Event
 }
 
 // Server is a generic compute server: one process network, one broker,
@@ -182,6 +185,8 @@ func (s *Server) handle(req *Request) *Response {
 			return &Response{Err: err.Error()}
 		}
 		return &Response{MetricsText: txt}
+	case "trace":
+		return &Response{Events: s.node.TraceEvents()}
 	case "ping":
 		return &Response{Name: s.name}
 	case "info":
@@ -439,4 +444,17 @@ func (c *Client) MetricsText() (string, error) {
 		return "", err
 	}
 	return resp.MetricsText, nil
+}
+
+// TraceEvents returns a snapshot of the remote node's trace ring. A
+// driver collects one snapshot per node — its own via Node.TraceEvents,
+// each server's via this call — and hands the set to
+// obs.WriteMergedTrace, which aligns the per-node clocks on the causal
+// wire-out → wire-in span pairs of sampled conduit traffic.
+func (c *Client) TraceEvents() ([]obs.Event, error) {
+	resp, err := c.roundTrip(&Request{Kind: "trace"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
 }

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dpn/internal/obs"
+	"dpn/internal/proclib"
+)
+
+// The PR's acceptance run: a two-node network with sampling enabled
+// produces a merged Chrome trace in which a sampled batch's spans
+// appear on both nodes in causal order — wire-out on the producer
+// node strictly before wire-in on the consumer node, joined by a flow
+// arrow, even though the two tracer epochs share no clock.
+func TestTwoNodeMergedTraceCausalOrder(t *testing.T) {
+	s := newTestServer(t, "remote")
+	c := newTestClient(t, s)
+	local := localNode(t)
+
+	local.Obs().Tracer().Enable()
+	s.Node().Obs().Tracer().Enable()
+	local.Broker.SetTraceSampling(1)
+	s.Node().Broker.SetTraceSampling(1)
+
+	ch := local.Net.NewChannel("ab", 64)
+	src := &proclib.SliceSource{Values: []int64{5, 10, 15, 20}, Out: ch.Writer()}
+	sink := &proclib.Count{In: ch.Reader()}
+	if _, err := c.RunProcs(local, sink); err != nil {
+		t.Fatal(err)
+	}
+	local.Net.Spawn(src)
+	if err := local.Net.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gather the rings: the local node directly, the remote one over the
+	// "trace" RPC — the same path dpnrun uses.
+	localEvs := local.TraceEvents()
+	remoteEvs, err := c.TraceEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sampled batch left a wire-out span locally and a wire-in span
+	// remotely, with the same trace ID.
+	ids := func(evs []obs.Event, detail string) map[int64]bool {
+		m := map[int64]bool{}
+		for _, ev := range evs {
+			if ev.Type == obs.EvSpan && ev.Detail == detail {
+				m[ev.Arg] = true
+			}
+		}
+		return m
+	}
+	outs, ins := ids(localEvs, "wire-out"), ids(remoteEvs, "wire-in")
+	if len(outs) == 0 || len(ins) == 0 {
+		t.Fatalf("spans: %d wire-out local, %d wire-in remote", len(outs), len(ins))
+	}
+	shared := int64(0)
+	for id := range outs {
+		if ins[id] {
+			shared = id
+			break
+		}
+	}
+	if shared == 0 {
+		t.Fatalf("no trace ID crossed the wire: out=%v in=%v", outs, ins)
+	}
+
+	var b strings.Builder
+	err = obs.WriteMergedTrace(&b, []obs.NodeTrace{
+		{Node: "local", Events: localEvs},
+		{Node: "remote", Events: remoteEvs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	var outTS, inTS float64
+	haveOut, haveIn, haveFlow := false, false, false
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "s" {
+			haveFlow = true
+		}
+		if ev.Name != "span" || ev.Ph != "i" {
+			continue
+		}
+		// JSON numbers are float64: 64-bit trace IDs round; compare in
+		// the rounded space.
+		if id, ok := ev.Args["arg"].(float64); !ok || id != float64(shared) {
+			continue
+		}
+		switch ev.Args["detail"] {
+		case "wire-out":
+			outTS, haveOut = ev.TS, true
+			if ev.PID != 1 {
+				t.Errorf("wire-out on pid %d, want 1 (local)", ev.PID)
+			}
+		case "wire-in":
+			inTS, haveIn = ev.TS, true
+			if ev.PID != 2 {
+				t.Errorf("wire-in on pid %d, want 2 (remote)", ev.PID)
+			}
+		}
+	}
+	if !haveOut || !haveIn {
+		t.Fatalf("merged trace lost the sampled batch (out=%v in=%v)", haveOut, haveIn)
+	}
+	if !(inTS > outTS) {
+		t.Fatalf("causal order violated after merge: wire-in %v <= wire-out %v", inTS, outTS)
+	}
+	if !haveFlow {
+		t.Fatal("no flow arrows in the merged trace")
+	}
+}
+
+// The "trace" RPC on a node that never enabled its tracer returns an
+// empty ring, not an error.
+func TestTraceRPCDisabledTracer(t *testing.T) {
+	s := newTestServer(t, "quiet")
+	c := newTestClient(t, s)
+	evs, err := c.TraceEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("disabled tracer returned %d events", len(evs))
+	}
+}

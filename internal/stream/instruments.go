@@ -25,8 +25,15 @@ type Instruments struct {
 	// blocked channel operation waited, in seconds.
 	ReadBlockSeconds  *obs.Histogram
 	WriteBlockSeconds *obs.Histogram
-	Tracer            *obs.Tracer
-	Name              string // trace subject, normally the channel name
+	// ReadWaitNanos and WriteWaitNanos accumulate the same stalls as
+	// monotonic nanosecond totals — the backpressure watermarks: the
+	// read counter grows while the consumer starves, the write counter
+	// while the producer is throttled by a full buffer. Deltas over a
+	// scrape interval yield the blocked-time % dpntop renders.
+	ReadWaitNanos  *obs.Counter
+	WriteWaitNanos *obs.Counter
+	Tracer         *obs.Tracer
+	Name           string // trace subject, normally the channel name
 }
 
 // noteWrite records nw bytes entering the pipe, with occ bytes now
@@ -87,9 +94,11 @@ func (m *Instruments) noteUnblock(write bool, t0 time.Time) {
 	d := time.Since(t0)
 	if write {
 		m.WriteBlockSeconds.Observe(d.Seconds())
+		m.WriteWaitNanos.Add(d.Nanoseconds())
 		m.Tracer.Record(obs.EvUnblock, m.Name, "write", d.Nanoseconds())
 	} else {
 		m.ReadBlockSeconds.Observe(d.Seconds())
+		m.ReadWaitNanos.Add(d.Nanoseconds())
 		m.Tracer.Record(obs.EvUnblock, m.Name, "read", d.Nanoseconds())
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrReadClosed is returned by Pipe.Write after the read end has been
@@ -75,6 +76,13 @@ type Pipe struct {
 
 	observer Observer
 	ins      *Instruments
+
+	// trace is the pending causal trace mark (0 = none). It rides
+	// outside the mutex and is never touched by Read/Write, so causal
+	// tracing costs the data hot path nothing; only trace-aware taps
+	// (outbound links, pool dispatch) look at it, at chunk/task
+	// granularity.
+	trace atomic.Uint64
 }
 
 // NewPipe returns a pipe with the given buffer capacity. Non-positive
@@ -503,6 +511,38 @@ func (p *Pipe) WriteClosed() bool {
 	return p.writeClosed
 }
 
+// MarkTrace tags the data currently flowing through the pipe with a
+// sampled causal trace ID (0 is ignored — "not sampled"). The mark is a
+// best-effort single slot: a later mark overwrites an untaken earlier
+// one, which is fine because sampling only needs *some* batches
+// traced, not all.
+func (p *Pipe) MarkTrace(id uint64) {
+	if id != 0 {
+		p.trace.Store(id)
+	}
+}
+
+// TakeTraceMark removes and returns the pending trace mark, or 0. The
+// unmarked case — virtually every call — is one atomic load.
+func (p *Pipe) TakeTraceMark() uint64 {
+	if p.trace.Load() == 0 {
+		return 0
+	}
+	return p.trace.Swap(0)
+}
+
+// TraceMarker is implemented by sinks that can carry a causal trace
+// mark alongside the data written to them.
+type TraceMarker interface {
+	MarkTrace(id uint64)
+}
+
+// TraceTaker is implemented by sources whose pending trace mark can be
+// claimed by a downstream tap (an outbound network link).
+type TraceTaker interface {
+	TakeTraceMark() uint64
+}
+
 // VecWriter is implemented by sinks that can accept a multi-part
 // element (e.g. length header + payload) atomically with respect to
 // interleaving and at the cost of a single sink operation. The token
@@ -524,6 +564,7 @@ type writerEnd struct{ p *Pipe }
 
 func (w writerEnd) Write(b []byte) (int, error)          { return w.p.Write(b) }
 func (w writerEnd) WriteVec(bufs ...[]byte) (int, error) { return w.p.WriteVec(bufs...) }
+func (w writerEnd) MarkTrace(id uint64)                  { w.p.MarkTrace(id) }
 func (w writerEnd) Close() error                         { return w.p.CloseWrite() }
 
 // readerEnd adapts the pipe's read half to io.ReadCloser.
@@ -531,6 +572,7 @@ type readerEnd struct{ p *Pipe }
 
 func (r readerEnd) Read(b []byte) (int, error) { return r.p.Read(b) }
 func (r readerEnd) Buffered() int              { return r.p.Buffered() }
+func (r readerEnd) TakeTraceMark() uint64      { return r.p.TakeTraceMark() }
 func (r readerEnd) Close() error               { return r.p.CloseRead() }
 
 // WriteEnd returns the pipe's write half as an io.WriteCloser whose Close

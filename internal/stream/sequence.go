@@ -107,6 +107,20 @@ func (s *SequenceReader) Buffered() int {
 	return 0
 }
 
+// TakeTraceMark claims the pending causal trace mark of the current
+// source, or 0 when there is none (or the source is not trace-aware).
+// It makes a conduit's exit — the reader an outbound link pumps —
+// transparent to trace marks set on the underlying pipe.
+func (s *SequenceReader) TakeTraceMark() uint64 {
+	s.mu.Lock()
+	cur := s.current
+	s.mu.Unlock()
+	if tt, ok := cur.(TraceTaker); ok {
+		return tt.TakeTraceMark()
+	}
+	return 0
+}
+
 // Retarget replaces the current source and clears the queue, closing the
 // displaced sources. It is used when a channel's transport is swapped
 // wholesale (local pipe replaced by a network stream during migration).

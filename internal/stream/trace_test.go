@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"dpn/internal/obs"
+)
+
+func TestPipeTraceMarkTakeOnce(t *testing.T) {
+	p := NewPipe(16)
+	if got := p.TakeTraceMark(); got != 0 {
+		t.Fatalf("fresh pipe mark = %d", got)
+	}
+	p.MarkTrace(42)
+	if got := p.TakeTraceMark(); got != 42 {
+		t.Fatalf("mark = %d, want 42", got)
+	}
+	if got := p.TakeTraceMark(); got != 0 {
+		t.Fatalf("mark taken twice: %d", got)
+	}
+}
+
+func TestPipeTraceMarkZeroIgnored(t *testing.T) {
+	p := NewPipe(16)
+	p.MarkTrace(7)
+	p.MarkTrace(0) // 0 = "not sampled" and must not erase a pending mark
+	if got := p.TakeTraceMark(); got != 7 {
+		t.Fatalf("mark = %d, want 7", got)
+	}
+}
+
+func TestPipeTraceMarkLatestWins(t *testing.T) {
+	p := NewPipe(16)
+	p.MarkTrace(1)
+	p.MarkTrace(2)
+	if got := p.TakeTraceMark(); got != 2 {
+		t.Fatalf("mark = %d, want 2 (latest)", got)
+	}
+}
+
+// The pipe's reader/writer end adapters and the SequenceReader forward
+// the trace-mark interfaces, so a transport holding only an
+// io.ReadCloser can still pick marks up.
+func TestTraceMarkThroughEndsAndSequence(t *testing.T) {
+	p := NewPipe(16)
+	if _, ok := any(p.WriteEnd()).(TraceMarker); !ok {
+		t.Fatal("writer end does not expose MarkTrace")
+	}
+	if _, ok := any(p.ReadEnd()).(TraceTaker); !ok {
+		t.Fatal("reader end does not expose TakeTraceMark")
+	}
+	any(p.WriteEnd()).(TraceMarker).MarkTrace(11)
+
+	sr := NewSequenceReader(p.ReadEnd())
+	if got := sr.TakeTraceMark(); got != 11 {
+		t.Fatalf("sequence reader mark = %d, want 11", got)
+	}
+	if got := sr.TakeTraceMark(); got != 0 {
+		t.Fatalf("sequence reader mark taken twice: %d", got)
+	}
+}
+
+// Blocking reads and writes must feed the wait-ns watermark counters
+// that back dpntop's blocked-time percentages.
+func TestWaitNanosCounters(t *testing.T) {
+	p := NewPipe(4)
+	reg := obs.NewRegistry()
+	ins := &Instruments{
+		ReadWaitNanos:  reg.Counter("wait", obs.L("op", "read")),
+		WriteWaitNanos: reg.Counter("wait", obs.L("op", "write")),
+	}
+	p.SetInstruments(ins)
+
+	// Blocked write: fill the pipe, then unblock from a reader.
+	if _, err := p.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Write([]byte("x"))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	buf := make([]byte, 8)
+	if _, err := p.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if got := ins.WriteWaitNanos.Value(); got < int64(10*time.Millisecond) {
+		t.Fatalf("write wait = %dns, want >= 10ms", got)
+	}
+
+	// Blocked read: drain, then read against an empty pipe.
+	for p.Len() > 0 {
+		p.Read(buf)
+	}
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Read(buf)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Write([]byte("y"))
+	<-done
+	if got := ins.ReadWaitNanos.Value(); got < int64(10*time.Millisecond) {
+		t.Fatalf("read wait = %dns, want >= 10ms", got)
+	}
+}

@@ -106,6 +106,12 @@ func (n *Node) WriteMetrics(w io.Writer) error { return n.Obs().WriteProm(w) }
 // method the deadlock coordinator's metric scrape looks for on a peer.
 func (n *Node) MetricsText() (string, error) { return n.Obs().MetricsText(), nil }
 
+// TraceEvents snapshots the node's trace ring, oldest first. The
+// compute-server "trace" RPC serves this to remote collectors; a
+// driver merging a cluster trace pairs each node's events with its
+// name and feeds the set to obs.WriteMergedTrace.
+func (n *Node) TraceEvents() []obs.Event { return n.Obs().Tracer().Events() }
+
 // noteWire counts one serialization operation and traces its phase.
 func (n *Node) noteWire(op, subject string, arg int64) {
 	s := n.Obs()

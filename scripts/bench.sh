@@ -11,6 +11,13 @@
 #                                 vs elastic runs, written to
 #                                 BENCH_pr4.json; fails unless dynamic
 #                                 completes at >= 1.3x static.
+#   scripts/bench.sh -pr6 [out]   tracing-overhead trajectory: the full
+#                                 hot-path suite plus the Traced link
+#                                 twins (tracer on, every-64th frame
+#                                 sampled) and the mark primitive,
+#                                 written to BENCH_pr6.json with a
+#                                 tracing_overhead section holding the
+#                                 traced/untraced ns/op ratios.
 #
 # The JSON is the machine-readable record scripts/check.sh -bench
 # compares fresh runs against, so throughput/allocation regressions on
@@ -33,15 +40,25 @@ if [ "${1:-}" = "-pr4" ]; then
 	exit 0
 fi
 
-out="${1:-BENCH_pr3.json}"
-pat='^(BenchmarkPipeWrite|BenchmarkPipeTransfer|BenchmarkPipeInstrumented|BenchmarkToken|BenchmarkLink)'
+# The default trajectory stays comparable across PRs, so the tracing
+# benchmarks added later are skipped unless -pr6 asks for them.
+overhead=0
+skip='Traced|PipeMarkTrace'
+if [ "${1:-}" = "-pr6" ]; then
+	out="${2:-BENCH_pr6.json}"
+	overhead=1
+	skip=''
+else
+	out="${1:-BENCH_pr3.json}"
+fi
+pat='^(BenchmarkPipeWrite|BenchmarkPipeTransfer|BenchmarkPipeInstrumented|BenchmarkPipeMarkTrace|BenchmarkToken|BenchmarkLink)'
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 
 echo "bench: go test -run ^\$ -bench '$pat' -benchmem -count=3 ."
-go test -run '^$' -bench "$pat" -benchmem -count=3 -timeout 30m . | tee "$log"
+go test -run '^$' -bench "$pat" ${skip:+-skip "$skip"} -benchmem -count=3 -timeout 30m . | tee "$log"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" -v overhead="$overhead" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
@@ -70,7 +87,23 @@ END {
 		if (best_aop[name] != "") printf ", \"allocs_op\": %s", best_aop[name]
 		printf "}%s\n", (i < n ? "," : "")
 	}
-	printf "  }\n}\n"
+	printf "  }"
+	if (overhead) {
+		# Pair every benchmark with its Traced twin and record the
+		# enabled-sampling cost as a ratio (1.00 = free).
+		m = 0
+		for (i = 1; i <= n; i++)
+			if ((order[i] "Traced") in best_ns) pairs[++m] = order[i]
+		printf ",\n  \"tracing_overhead\": {\n"
+		for (j = 1; j <= m; j++) {
+			base = pairs[j]
+			printf "    \"%s\": {\"ns_op\": %s, \"traced_ns_op\": %s, \"ratio\": %.4f}%s\n", \
+				base, best_ns[base], best_ns[base "Traced"], \
+				best_ns[base "Traced"] / best_ns[base], (j < m ? "," : "")
+		}
+		printf "  }"
+	}
+	printf "\n}\n"
 }' "$log" > "$out"
 
 echo "bench: wrote $out"

@@ -20,6 +20,21 @@
 #                    join/leave/kill, straggler re-dispatch, lane
 #                    migration) plus the hardened Scatter/Gather close
 #                    semantics, all under -race.
+#   check.sh -obs    observability gate: the tracing/telemetry suites
+#                    under -race (trace propagation, multi-node merge,
+#                    dpntop, cluster gather, cardinality guard, and the
+#                    multi-process smoke covering the metrics endpoint
+#                    and the distributed trace-merge round-trip), then
+#                    a cost assertion that the disabled-tracing hot
+#                    path stays within 3% ns/op of the committed
+#                    baseline on the three sentinels. ns/op is
+#                    machine-bound (see EXPERIMENTS.md), so the
+#                    default baseline is BENCH_pr6.json — recorded on
+#                    the gate machine, where the untraced sentinels
+#                    were verified against a pristine pre-tracing
+#                    checkout to <1% — pass a path to compare against
+#                    another record (e.g. BENCH_pr3.json on the
+#                    machine that wrote it).
 #   check.sh -lint   static-analysis gate: go vet, staticcheck when the
 #                    binary is on PATH (skipped with a notice otherwise
 #                    — nothing is downloaded), and a style check that
@@ -64,6 +79,59 @@ if [ "${1:-}" = "-bench" ]; then
 		fi
 	done
 	[ "$fail" -eq 0 ] && echo "bench gate: PASS" || echo "bench gate: FAIL"
+	exit "$fail"
+fi
+
+if [ "${1:-}" = "-obs" ]; then
+	base="${2:-BENCH_pr6.json}"
+	fail=0
+
+	# The observability suites, race-enabled. The regex sweeps the
+	# trace plumbing (pipe marks, TRACE frames, pool span chains, the
+	# two-node merged-trace causal-order test), the dpntop view, the
+	# cluster gather paths, the cardinality guard, the deadlock dump,
+	# and TestObservabilitySmoke — which exercises the live metrics
+	# endpoint and the distributed trace-merge round-trip through the
+	# real binaries.
+	pat='(Trace|TopView|GatherMetrics|Cardinality|Prom|WaitNanos|DeadlockDump|ServeDebugScope|PoolLatency|MetricAliases|MetricsOverRPC|ObservabilitySmoke)'
+	echo "obs gate: go test -race -run '$pat' -count=1 ./..."
+	go test -race -run "$pat" -count=1 -timeout 10m ./... || fail=1
+
+	# Tracing must be free when nobody asked for it: the hot-path
+	# sentinels (which now carry the disabled-path mark checks) must
+	# stay within 3% ns/op of the committed baseline. Best-of-3 to
+	# shave scheduler noise, same as the allocation gate.
+	if [ ! -f "$base" ]; then
+		echo "obs gate: no baseline $base (run scripts/bench.sh first)"
+		exit 1
+	fi
+	bpat='^(BenchmarkTokenWriteInt64|BenchmarkTokenInt64StreamBatch|BenchmarkLinkThroughput)$'
+	log=$(mktemp)
+	trap 'rm -f "$log"' EXIT
+	echo "obs gate: go test -run ^\$ -bench '$bpat' -count=3 ."
+	go test -run '^$' -bench "$bpat" -count=3 -timeout 30m . | tee "$log"
+	for name in BenchmarkTokenWriteInt64 BenchmarkTokenInt64StreamBatch BenchmarkLinkThroughput; do
+		# First match only: BENCH_pr6.json repeats the link sentinels
+		# in its tracing_overhead section.
+		want=$(awk -v n="$name" -F'[:,}]' '$0 ~ "\"" n "\"" {
+			for (i = 1; i < NF; i++) if ($i ~ /"ns_op"/) print $(i+1) + 0
+		}' "$base" | head -n 1)
+		got=$(awk -v n="$name" '$1 ~ "^" n "(-[0-9]+)?$" {
+			for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1) + 0
+		}' "$log" | sort -g | head -n 1)
+		if [ -z "$want" ] || [ -z "$got" ]; then
+			echo "obs gate: $name missing from baseline or run"
+			fail=1
+			continue
+		fi
+		if awk -v g="$got" -v w="$want" 'BEGIN { exit !(g <= w * 1.03) }'; then
+			echo "obs gate: $name OK ($got ns/op, baseline $want, limit +3%)"
+		else
+			echo "obs gate: $name regressed: $got ns/op > baseline $want + 3%"
+			fail=1
+		fi
+	done
+	[ "$fail" -eq 0 ] && echo "obs gate: PASS" || echo "obs gate: FAIL"
 	exit "$fail"
 fi
 
