@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 obs
+.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 bench-pr7 obs scenarios
 
 build:
 	go build ./...
@@ -49,6 +49,22 @@ bench-pr4:
 # ns/op ratios; see EXPERIMENTS.md, "Tracing overhead".
 bench-pr6:
 	./scripts/bench.sh -pr6
+
+# Workload-scenario gate alone: oracle equality for every catalog
+# scenario under loopback/tcp/chaos/migration, the graph-shape fuzzer,
+# the quantile/exposition round trip, the registry/rendezvous stress
+# tests, and the reduced-scale soak — all under -race with WORKLOAD_SEED
+# replay on failure; see scripts/check.sh -scenarios. Part of
+# `make check`.
+scenarios:
+	./scripts/check.sh -scenarios
+
+# Re-records the workload-scenario trajectory (BENCH_pr7.json):
+# verified tokens/sec and p50/p95/p99 per scenario plus the
+# 120-concurrent-graph soak; fails unless the soak held >= 100 graphs
+# with zero failures; see EXPERIMENTS.md, "Scenario suite".
+bench-pr7:
+	./scripts/bench.sh -pr7
 
 # Observability gate alone: the tracing/telemetry suites under -race
 # (including the multi-process metrics/dpntop/trace-merge smoke), then

@@ -8,6 +8,9 @@
 //	dpnbench -overhead   the §5.2 one-worker overhead measurement, run
 //	                     for real on this machine's process network
 //	dpnbench -seqreal    a real (scaled-down) sequential factorization
+//	dpnbench -scenarios  the workload scenario suite: verified
+//	                     streaming/sieve/fuzz runs plus the many-client
+//	                     soak, with latency percentiles (BENCH_pr7.json)
 //	dpnbench -all        everything
 //
 // Tables 1–2 and the figures use the discrete-event cluster simulator
@@ -39,7 +42,10 @@ func main() {
 		seqReal  = flag.Bool("seqreal", false, "run a real scaled-down sequential factorization")
 		valSim   = flag.Bool("validate-sim", false, "cross-validate the simulator against the real runtime with sleep-emulated heterogeneous workers")
 		pr4      = flag.Bool("pr4", false, "skewed-cluster elasticity experiment: static vs dynamic vs elastic with sleep-emulated workers")
-		jsonOut  = flag.Bool("json", false, "with -pr4, emit the report as JSON")
+		scenar   = flag.Bool("scenarios", false, "workload scenario suite: verified streaming/sieve/fuzz runs plus the many-client soak (BENCH_pr7.json)")
+		soakG    = flag.Int("soakgraphs", 120, "with -scenarios: concurrent graphs in the soak")
+		soakS    = flag.Int("soakservers", 3, "with -scenarios: shared compute servers in the soak")
+		jsonOut  = flag.Bool("json", false, "with -pr4 or -scenarios, emit the report as JSON")
 		csv      = flag.Bool("csv", false, "emit the figure series as CSV instead of text")
 		all      = flag.Bool("all", false, "run everything")
 		bits     = flag.Int("bits", 512, "prime size for the real experiments (the paper uses 512)")
@@ -47,7 +53,7 @@ func main() {
 		batch    = flag.Int64("batch", 2048, "difference values per task (heavier than the paper's 32 so per-task compute dominates on modern hardware)")
 	)
 	flag.Parse()
-	if !(*table1 || *table2 || *fig19 || *fig20 || *overhead || *seqReal || *valSim || *pr4 || *csv) {
+	if !(*table1 || *table2 || *fig19 || *fig20 || *overhead || *seqReal || *valSim || *pr4 || *scenar || *csv) {
 		*all = true
 	}
 	cfg := cluster.PaperConfig()
@@ -93,6 +99,9 @@ func main() {
 	}
 	if *all || *pr4 {
 		runPR4(*jsonOut)
+	}
+	if *all || *scenar {
+		runScenarios(*jsonOut, *soakG, *soakS)
 	}
 }
 

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dpn/internal/obs"
+	"dpn/internal/workload"
+)
+
+// pr7Scenario is one scenario's measured row in BENCH_pr7.json: reps
+// verified loopback runs (each compared against the single-threaded
+// oracle), one TCP-deployment verification, and wall-time percentiles
+// read back through the Prometheus exposition path.
+type pr7Scenario struct {
+	Name         string  `json:"name"`
+	Reps         int     `json:"reps"`
+	Elements     int     `json:"elements"`
+	Tokens       int64   `json:"tokens"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	P50          float64 `json:"p50_seconds"`
+	P95          float64 `json:"p95_seconds"`
+	P99          float64 `json:"p99_seconds"`
+	OK           bool    `json:"ok"`
+}
+
+// pr7Report is the machine-readable record of the workload-scenario
+// suite (BENCH_pr7.json): the measurement-scale catalog plus the
+// many-client soak. scripts/bench.sh -pr7 asserts on it.
+type pr7Report struct {
+	Seed      int64                `json:"seed"`
+	Scenarios []pr7Scenario        `json:"scenarios"`
+	Soak      *workload.SoakReport `json:"soak"`
+}
+
+// runScenarios measures the BenchCatalog scenarios and the soak
+// driver, printing a table or, with -json, the pr7 record.
+func runScenarios(jsonOut bool, soakGraphs, soakServers int) {
+	const (
+		seed = 2003
+		reps = 16
+	)
+	scope := obs.NewScope()
+	reg := scope.Registry()
+	reg.Help("dpn_workload_graph_seconds",
+		"Whole-graph wall time of one verified scenario run, by scenario.")
+
+	rep := pr7Report{Seed: seed}
+	for _, sc := range workload.BenchCatalog(seed) {
+		hist := reg.Histogram("dpn_workload_graph_seconds", nil, obs.L("scenario", sc.Name))
+		row := pr7Scenario{Name: sc.Name, Reps: reps, OK: true,
+			Elements: len(sc.Oracle(seed))}
+		var elapsed time.Duration
+		for r := 0; r < reps; r++ {
+			var st workload.RunStats
+			if err := workload.Check(sc, seed, workload.Loopback, workload.RunOptions{Stats: &st}); err != nil {
+				fmt.Fprintf(os.Stderr, "dpnbench: %s rep %d: %v\n", sc.Name, r, err)
+				row.OK = false
+				break
+			}
+			hist.Observe(st.Elapsed.Seconds())
+			row.Tokens += st.Tokens
+			elapsed += st.Elapsed
+		}
+		// One distributed pass: the same graph, its cut shipped over a
+		// real broker link, must still match the oracle.
+		if err := workload.Check(sc, seed, workload.TCP, workload.RunOptions{}); err != nil {
+			fmt.Fprintf(os.Stderr, "dpnbench: %s over TCP: %v\n", sc.Name, err)
+			row.OK = false
+		}
+		if elapsed > 0 {
+			row.TokensPerSec = float64(row.Tokens) / elapsed.Seconds()
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+
+	// Percentiles come from the serialized exposition, not the live
+	// histograms — the same numbers an operator scraping /metrics gets.
+	samples := obs.ParseProm(scope.MetricsText())
+	for i := range rep.Scenarios {
+		for _, s := range samples {
+			if s.Name != "dpn_workload_graph_seconds" || s.Kind != obs.KindHistogram {
+				continue
+			}
+			for _, l := range s.Labels {
+				if l.Key == "scenario" && l.Value == rep.Scenarios[i].Name {
+					rep.Scenarios[i].P50 = s.Quantile(0.50)
+					rep.Scenarios[i].P95 = s.Quantile(0.95)
+					rep.Scenarios[i].P99 = s.Quantile(0.99)
+				}
+			}
+		}
+	}
+
+	soak, err := workload.RunSoak(workload.SoakConfig{
+		Graphs:  soakGraphs,
+		Servers: soakServers,
+		Seed:    seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Soak = soak
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Workload scenario suite (seed %d, %d loopback reps + 1 TCP verification each)\n", seed, reps)
+	for _, row := range rep.Scenarios {
+		status := "ok"
+		if !row.OK {
+			status = "FAILED"
+		}
+		fmt.Printf("  %-16s %9d elem  %11.0f tokens/sec  p50 %8.4fs  p95 %8.4fs  p99 %8.4fs  %s\n",
+			row.Name, row.Elements, row.TokensPerSec, row.P50, row.P95, row.P99, status)
+	}
+	fmt.Printf("Soak: %d graphs on %d servers, %d failures, %.0f tokens/sec\n",
+		soak.Graphs, soak.Servers, soak.Failures, soak.TokensPerSec)
+	fmt.Printf("  stream p50/p95/p99 %0.4f/%0.4f/%0.4fs   pool %0.4f/%0.4f/%0.4fs   task %0.4f/%0.4f/%0.4fs   wait share %.3f\n",
+		soak.Stream.P50, soak.Stream.P95, soak.Stream.P99,
+		soak.Pool.P50, soak.Pool.P95, soak.Pool.P99,
+		soak.TaskP50, soak.TaskP95, soak.TaskP99, soak.WaitShare)
+}

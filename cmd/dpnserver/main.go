@@ -34,6 +34,7 @@ import (
 	_ "dpn/internal/blockcodec"
 	_ "dpn/internal/factor"
 	_ "dpn/internal/proclib"
+	_ "dpn/internal/workload"
 )
 
 func main() {

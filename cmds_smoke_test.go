@@ -8,6 +8,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"dpn/internal/server"
 )
 
 // freePort reserves an ephemeral TCP port and returns "127.0.0.1:p".
@@ -25,6 +27,7 @@ func freePort(t *testing.T) string {
 func waitListening(t *testing.T, addr string) {
 	t.Helper()
 	deadline := time.Now().Add(20 * time.Second)
+	pause := 5 * time.Millisecond
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
@@ -34,7 +37,33 @@ func waitListening(t *testing.T, addr string) {
 		if time.Now().After(deadline) {
 			t.Fatalf("%s never started listening", addr)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(pause)
+		if pause < 250*time.Millisecond {
+			pause *= 2
+		}
+	}
+}
+
+// waitRegistered polls the registry until n servers are registered. A
+// dpnserver's RPC listener comes up before it registers, so a client
+// launched right after waitListening can race the registration; this is
+// the readiness signal that closes that window.
+func waitRegistered(t *testing.T, regAddr string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	pause := 5 * time.Millisecond
+	for {
+		names, _, err := server.List(regAddr)
+		if err == nil && len(names) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registry %s never reached %d servers (last: %v, %v)", regAddr, n, names, err)
+		}
+		time.Sleep(pause)
+		if pause < 250*time.Millisecond {
+			pause *= 2
+		}
 	}
 }
 
@@ -123,6 +152,7 @@ func TestCommandsSmoke(t *testing.T) {
 				stop(s)
 			}
 		}()
+		waitRegistered(t, regAddr, len(servers))
 
 		out, err := exec.Command(bin+"/dpnrun",
 			"-graph", "factor", "-workers", "4", "-bits", "160",

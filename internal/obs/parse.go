@@ -1,18 +1,20 @@
 package obs
 
 import (
+	"math"
 	"strconv"
 	"strings"
 )
 
 // ParseProm parses the subset of the Prometheus text exposition format
 // that WriteProm emits back into samples: counter and gauge series
-// lines plus histogram _sum/_count pairs (bucket lines are folded into
-// the parent sample's Count/Sum view; per-bucket counts are not
-// reconstructed). Unparseable lines are skipped — the parser exists for
-// the dpntop scrape loop and for golden tests, not as a general
-// Prometheus client. Kinds come from the # TYPE headers; series of
-// families without one parse as counters.
+// lines plus histogram _bucket/_sum/_count triples, reconstructed into
+// one Sample per series with its cumulative Buckets (so Quantile works
+// on scraped text exactly as it does on Registry.Samples output).
+// Unparseable lines are skipped — the parser exists for the dpntop
+// scrape loop, the soak driver's percentile report, and golden tests,
+// not as a general Prometheus client. Kinds come from the # TYPE
+// headers; series of families without one parse as counters.
 func ParseProm(text string) []Sample {
 	kinds := make(map[string]Kind)
 	var out []Sample
@@ -45,8 +47,18 @@ func ParseProm(text string) []Sample {
 		}
 		// Histogram component lines reduce to one sample per series.
 		if base, comp := histogramBase(name, kinds); base != "" {
+			var bound float64
 			if comp == "bucket" {
-				continue // cumulative buckets are not reconstructed
+				le := labelValue(labels, "le")
+				if le == "+Inf" {
+					bound = math.Inf(1)
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						continue
+					}
+					bound = b
+				}
 			}
 			labels = dropLabel(labels, "le")
 			key := base + "\x00" + labelKey(labels)
@@ -56,9 +68,14 @@ func ParseProm(text string) []Sample {
 				index[key] = i
 				out = append(out, Sample{Name: base, Kind: KindHistogram, Labels: labels})
 			}
-			if comp == "sum" {
+			switch comp {
+			case "bucket":
+				// WriteProm emits buckets in ascending bound order, so
+				// appending rebuilds the cumulative sequence.
+				out[i].Buckets = append(out[i].Buckets, Bucket{UpperBound: bound, Count: int64(value)})
+			case "sum":
 				out[i].Sum = value
-			} else {
+			default:
 				out[i].Count = int64(value)
 			}
 			continue
@@ -82,6 +99,15 @@ func histogramBase(name string, kinds map[string]Kind) (base, comp string) {
 		}
 	}
 	return "", ""
+}
+
+func labelValue(labels []Label, key string) string {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
 }
 
 func dropLabel(labels []Label, key string) []Label {

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestGraphFuzzLoopbackVsTCP generates seed-replayable random DAG
+// topologies, runs each to quiescence on one network and again with
+// the interleave/collector tail exported over TCP, and asserts both
+// match the plan's pure-Go evaluation — with no goroutine left behind.
+// A failure names the exact seed; WORKLOAD_SEED replays it.
+func TestGraphFuzzLoopbackVsTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph fuzzing in -short mode")
+	}
+	base := workloadSeed(t, 1715)
+	rounds := int64(6)
+	baseline := runtime.NumGoroutine()
+	for s := base; s < base+rounds; s++ {
+		plan := NewFuzzPlan(s)
+		sc := plan.Scenario()
+		t.Logf("workload seed %d: %d sources, %d ops, len %d", s, plan.Sources, len(plan.Ops), plan.Len)
+		for _, d := range []Deployment{Loopback, TCP} {
+			if err := Check(sc, s, d, RunOptions{}); err != nil {
+				t.Fatalf("replay with WORKLOAD_SEED=%d: %v", s, err)
+			}
+		}
+	}
+	settled(t, baseline)
+}
+
+// TestFuzzPlanReplay: the same seed must regenerate an identical plan
+// and oracle — the property the replay workflow rests on.
+func TestFuzzPlanReplay(t *testing.T) {
+	seed := workloadSeed(t, 40291)
+	a, b := NewFuzzPlan(seed), NewFuzzPlan(seed)
+	if a.Len != b.Len || a.Sources != b.Sources || len(a.Ops) != len(b.Ops) {
+		t.Fatalf("plan shape not replayable: %+v vs %+v", a, b)
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+	if err := equal(a.Eval(), b.Eval()); err != nil {
+		t.Fatalf("oracle not replayable: %v", err)
+	}
+}

@@ -10,7 +10,35 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// waitMetricsReady polls the observability endpoint until it serves a
+// dpn_ series — the readiness signal for everything behind it (the
+// TCP listener alone can be up before the scope has registered its
+// first family).
+func waitMetricsReady(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	pause := 5 * time.Millisecond
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "dpn_") {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint %s never became ready (%v)", addr, err)
+		}
+		time.Sleep(pause)
+		if pause < 250*time.Millisecond {
+			pause *= 2
+		}
+	}
+}
 
 // TestObservabilitySmoke drives the PR's observability surface through
 // the real command-line tools: the metrics/pprof HTTP endpoint, the
@@ -41,7 +69,7 @@ func TestObservabilitySmoke(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer stop(srv)
-		waitListening(t, addr)
+		waitMetricsReady(t, addr)
 
 		get := func(path string) string {
 			resp, err := http.Get("http://" + addr + path)
@@ -115,6 +143,7 @@ func TestObservabilitySmoke(t *testing.T) {
 				stop(s)
 			}
 		}()
+		waitRegistered(t, regAddr, len(servers))
 
 		traceFile := filepath.Join(t.TempDir(), "merged.json")
 		out, err := exec.Command(bin+"/dpnrun",

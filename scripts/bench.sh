@@ -18,6 +18,14 @@
 #                                 written to BENCH_pr6.json with a
 #                                 tracing_overhead section holding the
 #                                 traced/untraced ns/op ratios.
+#   scripts/bench.sh -pr7 [out]   workload-scenario trajectory: the
+#                                 measurement-scale scenario suite
+#                                 (tokens/sec and p50/p95/p99 per
+#                                 scenario) plus the many-client soak,
+#                                 written to BENCH_pr7.json; fails
+#                                 unless the soak sustained >= 100
+#                                 concurrent graphs with 0 failures
+#                                 and every scenario verified.
 #
 # The JSON is the machine-readable record scripts/check.sh -bench
 # compares fresh runs against, so throughput/allocation regressions on
@@ -37,6 +45,28 @@ if [ "${1:-}" = "-pr4" ]; then
 		exit 1
 	fi
 	echo "bench: wrote $out (dynamic_over_static = $ratio)"
+	exit 0
+fi
+
+if [ "${1:-}" = "-pr7" ]; then
+	out="${2:-BENCH_pr7.json}"
+	echo "bench: go run ./cmd/dpnbench -scenarios -json > $out"
+	go run ./cmd/dpnbench -scenarios -json > "$out"
+	graphs=$(awk -F: '/"concurrent_graphs"/ { gsub(/[ ,]/, "", $2); print $2 + 0 }' "$out")
+	failures=$(awk -F: '/"failures"/ { gsub(/[ ,]/, "", $2); print $2 + 0 }' "$out")
+	if [ "${graphs:-0}" -lt 100 ]; then
+		echo "bench: FAIL — concurrent_graphs = ${graphs:-none} < 100 in $out"
+		exit 1
+	fi
+	if [ "${failures:-1}" -ne 0 ]; then
+		echo "bench: FAIL — soak failures = ${failures:-none} in $out"
+		exit 1
+	fi
+	if grep -q '"ok": false' "$out"; then
+		echo "bench: FAIL — a scenario failed oracle verification in $out"
+		exit 1
+	fi
+	echo "bench: wrote $out ($graphs concurrent soak graphs, $failures failures)"
 	exit 0
 fi
 

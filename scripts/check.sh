@@ -40,6 +40,17 @@
 #                    — nothing is downloaded), and a style check that
 #                    the conduit package's API surface never says
 #                    interface{} (spell it any).
+#   check.sh -scenarios
+#                    workload-scenario gate: the seeded scenario suite
+#                    (oracle equality under loopback/tcp/chaos/
+#                    migration), the graph-shape fuzzer, the histogram
+#                    quantile unit tests, the registry/rendezvous
+#                    stress tests, and the reduced-scale soak, all
+#                    under -race. On failure the logged seed is
+#                    replayed once (WORKLOAD_SEED pins the topology
+#                    and data): a second failure is reproducible —
+#                    report it with that seed — while a replay pass
+#                    classifies the original failure as flaky.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -179,6 +190,31 @@ if [ "${1:-}" = "-lint" ]; then
 	exit "$fail"
 fi
 
+if [ "${1:-}" = "-scenarios" ]; then
+	pat='(Scenario|Quantile|PromHistogram|GraphFuzz|FuzzPlan|StreamOracle|SoakSmoke|RegistryConcurrent|RendezvousStorm)'
+	log=$(mktemp)
+	trap 'rm -f "$log"' EXIT
+	echo "scenario gate: go test -race -run '$pat' -count=1 ./..."
+	if go test -race -run "$pat" -count=1 -timeout 15m ./... 2>&1 | tee "$log"; then
+		echo "scenario gate: PASS"
+		exit 0
+	fi
+	seed=$(grep -Eo 'workload seed -?[0-9]+' "$log" | tail -n 1 | grep -Eo '\-?[0-9]+' || true)
+	if [ -z "$seed" ]; then
+		echo "scenario gate: FAIL (no 'workload seed N' line logged; not replayable)"
+		exit 1
+	fi
+	pkgs=$(grep -E '^(FAIL|---[ ]FAIL)' "$log" | grep -Eo '\bdpn/[a-z/]+' | sort -u || true)
+	[ -n "$pkgs" ] || pkgs=./...
+	echo "scenario gate: FAIL — replaying with WORKLOAD_SEED=$seed: $pkgs"
+	if WORKLOAD_SEED="$seed" go test -race -run "$pat" -count=1 $pkgs; then
+		echo "scenario gate: FLAKY (seed $seed passed on replay; original failure did not reproduce)"
+		exit 1
+	fi
+	echo "scenario gate: REPRODUCIBLE — rerun with WORKLOAD_SEED=$seed to debug"
+	exit 1
+fi
+
 if [ "${1:-}" = "-pool" ]; then
 	pat='(Pool|Elastic|StaggeredClose|TornBlock|DeadLane|GatherAllClosed|GatherCorrupt|DirectBadIndex|WorkerKilled|BatchedRead|BatchedFloat)'
 	echo "pool gate: go test -race -run '$pat' -count=1 ./..."
@@ -197,3 +233,4 @@ go test -race ./...
 set +x
 ./scripts/check.sh -pool
 ./scripts/check.sh -chaos
+./scripts/check.sh -scenarios
