@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 bench-pr7 obs scenarios
+.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 bench-pr7 bench-pr8 obs scenarios codec
 
 build:
 	go build ./...
@@ -65,6 +65,21 @@ scenarios:
 # with zero failures; see EXPERIMENTS.md, "Scenario suite".
 bench-pr7:
 	./scripts/bench.sh -pr7
+
+# Re-records the wire-compression trajectory (BENCH_pr8.json): logical
+# tokens/sec and compression ratio per stream shape, loopback and
+# emulated 1 Gbit/s wire; fails unless the compressed monotone stream
+# moves >= 3x the raw twin's logical tokens/sec on the emulated wire;
+# see EXPERIMENTS.md, "Compression trajectory".
+bench-pr8:
+	./scripts/bench.sh -pr8
+
+# Wire-codec gate alone: block-codec round-trip identity, corruption
+# rejection, the >= 4x monotone compression floor, the compressed-link
+# integration tests, and a short native fuzz burst; see
+# scripts/check.sh -codec. Part of `make check`.
+codec:
+	./scripts/check.sh -codec
 
 # Observability gate alone: the tracing/telemetry suites under -race
 # (including the multi-process metrics/dpntop/trace-merge smoke), then

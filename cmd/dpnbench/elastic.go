@@ -19,6 +19,7 @@ import (
 // fields are the discrete-event simulator's prediction for the same
 // shape, for cross-reference.
 type pr4Report struct {
+	benchEnv
 	Tasks             int64     `json:"tasks"`
 	TaskMS            int64     `json:"task_ms"`
 	Speeds            []float64 `json:"speeds"`
@@ -59,6 +60,7 @@ func runPR4(jsonOut bool) {
 	}
 
 	rep := pr4Report{
+		benchEnv:      currentEnv(),
 		Tasks:         tasks,
 		TaskMS:        taskMS,
 		Speeds:        speeds,

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"dpn/internal/cluster"
@@ -164,6 +165,32 @@ func runSleepExperiment(static bool, speeds []float64, tasks, taskMS int64) time
 		fatal(err)
 	}
 	return time.Since(start)
+}
+
+// benchEnv stamps a BENCH_*.json record with the environment it was
+// measured on — go version, GOMAXPROCS, host, platform — so trajectory
+// entries are comparable across machines (scripts/bench.sh stamps its
+// awk-built records the same way). Embed it first in a report struct.
+type benchEnv struct {
+	Recorded   string `json:"recorded"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Host       string `json:"host"`
+	OSArch     string `json:"os_arch"`
+}
+
+func currentEnv() benchEnv {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return benchEnv{
+		Recorded:   time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       host,
+		OSArch:     runtime.GOOS + "/" + runtime.GOARCH,
+	}
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ type pr7Scenario struct {
 // suite (BENCH_pr7.json): the measurement-scale catalog plus the
 // many-client soak. scripts/bench.sh -pr7 asserts on it.
 type pr7Report struct {
+	benchEnv
 	Seed      int64                `json:"seed"`
 	Scenarios []pr7Scenario        `json:"scenarios"`
 	Soak      *workload.SoakReport `json:"soak"`
@@ -47,7 +48,7 @@ func runScenarios(jsonOut bool, soakGraphs, soakServers int) {
 	reg.Help("dpn_workload_graph_seconds",
 		"Whole-graph wall time of one verified scenario run, by scenario.")
 
-	rep := pr7Report{Seed: seed}
+	rep := pr7Report{benchEnv: currentEnv(), Seed: seed}
 	for _, sc := range workload.BenchCatalog(seed) {
 		hist := reg.Histogram("dpn_workload_graph_seconds", nil, obs.L("scenario", sc.Name))
 		row := pr7Scenario{Name: sc.Name, Reps: reps, OK: true,

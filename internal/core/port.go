@@ -213,6 +213,16 @@ func (p *WritePort) RetargetSink(w io.WriteCloser) (io.WriteCloser, error) {
 	return p.s.sw.Retarget(w), nil
 }
 
+// HintShape forwards an advisory element-shape hint (token/blocks
+// Shape values) toward the channel's sink, where a transport binding
+// may use it to pick a compression trial. Detached ports drop the hint
+// — it carries no correctness weight.
+func (p *WritePort) HintShape(s uint32) {
+	if p.s != nil && p.s.sw != nil {
+		p.s.sw.HintShape(s)
+	}
+}
+
 // NoteToken records one typed element produced through this port; it
 // feeds the dpn_conduit_tokens_total counter.
 func (p *WritePort) NoteToken() {

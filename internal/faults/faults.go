@@ -62,6 +62,12 @@ type Config struct {
 	// partition ends or the connection's deadline fires, instead of
 	// failing immediately. Dials fail immediately in both modes.
 	Stall bool
+	// Rate caps each connection's write throughput at this many bytes
+	// per second (zero means unlimited), emulating a bandwidth-limited
+	// wire: writes are paced so the bytes sent never outrun the
+	// emulated link speed. Pacing is deterministic — it draws no
+	// randomness — and applies per connection, like a dedicated NIC.
+	Rate int64
 }
 
 // Injector applies one Config to any number of connections. All methods
@@ -256,6 +262,10 @@ type conn struct {
 	writeDeadline time.Time
 	closed        chan struct{}
 	closeOnce     sync.Once
+	// busyUntil is the emulated wire's transmit horizon under
+	// Config.Rate: each write extends it by len/Rate and sleeps until
+	// its own bytes would have cleared the link.
+	busyUntil time.Time
 }
 
 func (c *conn) closedCh() chan struct{} {
@@ -384,5 +394,31 @@ func (c *conn) Write(p []byte) (int, error) {
 		}
 		return wrote, c.breakConn("write")
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	c.throttle(n)
+	return n, err
+}
+
+// throttle paces the connection after n bytes left it, so sustained
+// throughput converges on Config.Rate. The serialization delay is
+// charged against a per-connection transmit horizon: bursts shorter
+// than the accumulated idle credit pass untouched, exactly like a real
+// link that was sitting empty.
+func (c *conn) throttle(n int) {
+	rate := c.inj.cfg.Rate
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(rate) * float64(time.Second))
+	c.mu.Lock()
+	now := time.Now()
+	if c.busyUntil.Before(now) {
+		c.busyUntil = now
+	}
+	c.busyUntil = c.busyUntil.Add(d)
+	wait := c.busyUntil.Sub(now)
+	c.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
 }

@@ -273,6 +273,41 @@ func TestLatencyDelaysOperations(t *testing.T) {
 	}
 }
 
+// TestRatePacesWrites bounds a rate-limited connection's sustained
+// throughput from both sides: 64 KiB through a 1 MB/s emulated wire
+// must take roughly 64ms, and the pacing must not lose a byte.
+func TestRatePacesWrites(t *testing.T) {
+	inj := New(Config{Rate: 1 << 20})
+	a, b := pipePair(inj)
+	defer a.Close()
+	defer b.Close()
+
+	const total = 64 << 10
+	go func() {
+		buf := make([]byte, 8<<10)
+		for i := 0; i < total/len(buf); i++ {
+			a.Write(buf)
+		}
+		a.Close()
+	}()
+	start := time.Now()
+	got, err := io.ReadAll(b)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != total {
+		t.Fatalf("read %d bytes, want %d", len(got), total)
+	}
+	want := time.Duration(total) * time.Second / (1 << 20)
+	if elapsed < want/2 {
+		t.Fatalf("%d bytes cleared a 1 MB/s wire in %v (floor %v): rate not applied", total, elapsed, want/2)
+	}
+	if elapsed > 10*want {
+		t.Fatalf("%d bytes took %v on a 1 MB/s wire (ceiling %v): pacing overshoots", total, elapsed, 10*want)
+	}
+}
+
 func TestListenerWrapsAcceptedConns(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -304,7 +339,7 @@ func TestListenerWrapsAcceptedConns(t *testing.T) {
 }
 
 func TestParseSpec(t *testing.T) {
-	cfg, err := Parse("seed=9,latency=2ms,jitter=500us,drop=0.01,short=0.02,partition=1s:500ms,every=10s,mode=stall")
+	cfg, err := Parse("seed=9,latency=2ms,jitter=500us,drop=0.01,short=0.02,partition=1s:500ms,every=10s,mode=stall,rate=125000000")
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -318,6 +353,7 @@ func TestParseSpec(t *testing.T) {
 		PartitionFor:   500 * time.Millisecond,
 		PartitionEvery: 10 * time.Second,
 		Stall:          true,
+		Rate:           125000000,
 	}
 	if cfg != want {
 		t.Fatalf("parsed %+v, want %+v", cfg, want)
@@ -327,6 +363,9 @@ func TestParseSpec(t *testing.T) {
 	}
 	if _, err := Parse("unknown=1"); err == nil {
 		t.Fatalf("expected error for unknown key")
+	}
+	if _, err := Parse("rate=-1"); err == nil {
+		t.Fatalf("expected error for negative rate")
 	}
 	if _, err := Parse(""); err != nil {
 		t.Fatalf("empty spec must parse to zero config, got %v", err)

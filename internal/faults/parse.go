@@ -15,8 +15,9 @@ import (
 // Keys: seed (int64), latency/jitter (durations), drop/short
 // (probabilities in [0,1]), partition=<at>[:<for>] (omitting <for>
 // partitions forever), every (repeat interval; requires a <for>
-// healing window), mode (stall|reset; reset is the default). An empty
-// spec is the zero Config.
+// healing window), mode (stall|reset; reset is the default), rate
+// (write bytes/sec cap emulating a bandwidth-limited wire; 0 is
+// unlimited). An empty spec is the zero Config.
 func Parse(spec string) (Config, error) {
 	var cfg Config
 	spec = strings.TrimSpace(spec)
@@ -48,6 +49,11 @@ func Parse(spec string) (Config, error) {
 			}
 		case "every":
 			cfg.PartitionEvery, err = time.ParseDuration(val)
+		case "rate":
+			cfg.Rate, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && cfg.Rate < 0 {
+				err = fmt.Errorf("rate %d must be non-negative", cfg.Rate)
+			}
 		case "mode":
 			switch val {
 			case "stall":

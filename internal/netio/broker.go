@@ -63,6 +63,13 @@ type Broker struct {
 	// outbound links consult it per DATA frame.
 	smp atomic.Pointer[obs.Sampler]
 
+	// cmpOff disables wire compression for links created after the
+	// store. Stored inverted so the zero-value broker compresses —
+	// compression is a transparent payload property, not a protocol
+	// change, so unlike Resilience it needs no fleet-wide agreement
+	// (every inbound side always accepts both DATA kinds).
+	cmpOff atomic.Bool
+
 	acceptDone chan struct{}
 }
 
@@ -135,6 +142,15 @@ func (b *Broker) SetTraceSampling(every int) {
 
 // traceSampler returns the active auto-sampler, nil when disabled.
 func (b *Broker) traceSampler() *obs.Sampler { return b.smp.Load() }
+
+// SetCompression toggles columnar block compression of outbound DATA
+// payloads for links created after the call (on by default). Decoding
+// of inbound compressed frames is always available, so peers may
+// differ in this setting without protocol risk.
+func (b *Broker) SetCompression(on bool) { b.cmpOff.Store(!on) }
+
+// compression reports whether new outbound links compress.
+func (b *Broker) compression() bool { return !b.cmpOff.Load() }
 
 // SetPendingTTL adjusts how long an early connection (one whose token
 // has no registered endpoint yet) is parked before being dropped.

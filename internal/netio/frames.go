@@ -37,6 +37,7 @@ const (
 	frameResume    = 'S' // off — receiver's delivered offset; opens every resilient conn
 	frameBye       = 'Y' // reader confirms EOF/REDIRECT receipt (resilient links only)
 	frameTrace     = 'T' // id — causal trace mark for the next DATA frame (sampled, best-effort)
+	frameDataC     = 'Z' // payload — channel bytes, sealed as one compressed block (see token/blocks)
 )
 
 // maxFramePayload bounds frame payloads defensively.
@@ -67,7 +68,7 @@ type frame struct {
 func encodeFrame(dst []byte, f frame) ([]byte, error) {
 	dst = append(dst, f.kind)
 	switch f.kind {
-	case frameData:
+	case frameData, frameDataC:
 		if len(f.payload) > maxFramePayload {
 			return nil, fmt.Errorf("netio: frame payload %d too large", len(f.payload))
 		}
@@ -107,7 +108,7 @@ func writeFrameBuf(w io.Writer, f frame, scratch []byte) error {
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	if f.kind == frameData && len(f.payload) > 0 {
+	if (f.kind == frameData || f.kind == frameDataC) && len(f.payload) > 0 {
 		_, err = w.Write(f.payload)
 	}
 	return err
@@ -134,7 +135,7 @@ func readFrameInto(r io.Reader, scratch []byte) (frame, error) {
 	}
 	f := frame{kind: scratch[0]}
 	switch f.kind {
-	case frameData:
+	case frameData, frameDataC:
 		if _, err := io.ReadFull(r, scratch[1:5]); err != nil {
 			return frame{}, unexpected(err)
 		}

@@ -23,6 +23,7 @@ var frameKinds = []struct {
 	{frameResume, "resume"},
 	{frameBye, "bye"},
 	{frameTrace, "trace"},
+	{frameDataC, "data-c"},
 }
 
 func frameKindName(kind byte) string {
@@ -40,6 +41,11 @@ func frameKindName(kind byte) string {
 type brokerInstruments struct {
 	bytesIn         *obs.Counter
 	bytesOut        *obs.Counter
+	logicalIn       *obs.Counter
+	logicalOut      *obs.Counter
+	wireIn          *obs.Counter
+	wireOut         *obs.Counter
+	compRatio       *obs.Gauge
 	framesIn        map[byte]*obs.Counter
 	framesOut       map[byte]*obs.Counter
 	frameUnknown    *obs.Counter
@@ -59,6 +65,9 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 	reg.Help("dpn_broker_bytes_total", "Channel-link bytes through the broker, by dir (in|out).")
 	reg.Help("dpn_broker_frames_total", "Protocol frames through the broker, by kind and dir (in|out).")
 	reg.Help("dpn_broker_credit_stalls_total", "Times an outbound link waited for flow-control credit.")
+	reg.Help("dpn_conduit_link_logical_bytes_total", "Uncompressed channel payload bytes carried by link DATA frames, by dir (in|out).")
+	reg.Help("dpn_conduit_link_wire_bytes_total", "Channel payload bytes as actually framed on the wire (post-compression), by dir (in|out).")
+	reg.Help("dpn_conduit_link_compressed_ratio", "Logical-to-wire payload ratio over this broker's links, in permille (1000 = uncompressed).")
 	reg.Help("dpn_conduit_link_frames_coalesced_total", "Queued outbound data chunks merged into an earlier frame instead of sent separately.")
 	reg.Help("dpn_conduit_link_retries_total", "Link reconnect attempts that failed and backed off.")
 	reg.Help("dpn_conduit_link_heartbeat_miss_total", "Bounded link reads that timed out waiting for the peer.")
@@ -80,6 +89,11 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 	ins := &brokerInstruments{
 		bytesIn:         reg.Counter("dpn_broker_bytes_total", obs.L("dir", "in")),
 		bytesOut:        reg.Counter("dpn_broker_bytes_total", obs.L("dir", "out")),
+		logicalIn:       reg.Counter("dpn_conduit_link_logical_bytes_total", obs.L("dir", "in")),
+		logicalOut:      reg.Counter("dpn_conduit_link_logical_bytes_total", obs.L("dir", "out")),
+		wireIn:          reg.Counter("dpn_conduit_link_wire_bytes_total", obs.L("dir", "in")),
+		wireOut:         reg.Counter("dpn_conduit_link_wire_bytes_total", obs.L("dir", "out")),
+		compRatio:       reg.Gauge("dpn_conduit_link_compressed_ratio"),
 		framesIn:        make(map[byte]*obs.Counter, len(frameKinds)),
 		framesOut:       make(map[byte]*obs.Counter, len(frameKinds)),
 		creditStalls:    reg.Counter("dpn_broker_credit_stalls_total"),
@@ -112,10 +126,11 @@ func (b *Broker) SetObs(s *obs.Scope) {
 }
 
 // noteFrame counts one protocol frame and traces it; dir is from this
-// node's perspective. DATA payload feeds the byte counters, so
-// BytesIn/BytesOut report channel payload only — heartbeats and other
-// control traffic never move them, which keeps the distributed
-// deadlock detector's quiescence test meaningful on an idle graph.
+// node's perspective. DATA-carrying kinds go through noteData instead,
+// which also feeds the byte counters, so BytesIn/BytesOut report
+// channel payload only — heartbeats and other control traffic never
+// move them, which keeps the distributed deadlock detector's
+// quiescence test meaningful on an idle graph.
 func (b *Broker) noteFrame(kind byte, out bool, payload int) {
 	ins := b.ins.Load()
 	m := ins.framesIn
@@ -129,14 +144,49 @@ func (b *Broker) noteFrame(kind byte, out bool, payload int) {
 		c = ins.frameUnknown
 	}
 	c.Inc()
-	if kind == frameData && payload > 0 {
-		if out {
-			ins.bytesOut.Add(int64(payload))
-		} else {
-			ins.bytesIn.Add(int64(payload))
+	ins.tracer.Record(obs.EvFrame, frameKindName(kind), dir, int64(payload))
+}
+
+// noteData counts one DATA or DATA-C frame. All flow-control-visible
+// byte counters (dpn_broker_bytes_total and the logical family) move
+// by the LOGICAL payload length — what the channel's processes see —
+// while the wire family records the framed (possibly compressed)
+// length, and the ratio gauge publishes their quotient in permille.
+// Accounting logical bytes keeps every pre-compression consumer of
+// BytesIn/BytesOut (deadlock quiescence, redirect tests) exact.
+func (b *Broker) noteData(kind byte, out bool, wire, logical int) {
+	ins := b.ins.Load()
+	m := ins.framesIn
+	dir := "in"
+	if out {
+		m = ins.framesOut
+		dir = "out"
+	}
+	if c, ok := m[kind]; ok {
+		c.Inc()
+	} else {
+		ins.frameUnknown.Inc()
+	}
+	if out {
+		ins.bytesOut.Add(int64(logical))
+		ins.logicalOut.Add(int64(logical))
+		ins.wireOut.Add(int64(wire))
+	} else {
+		ins.bytesIn.Add(int64(logical))
+		ins.logicalIn.Add(int64(logical))
+		ins.wireIn.Add(int64(wire))
+	}
+	if kind == frameDataC {
+		// Refresh the ratio gauge only when compression is actually
+		// engaged; an all-raw broker reports the gauge's zero value
+		// rather than a misleading 1000.
+		lt := ins.logicalIn.Value() + ins.logicalOut.Value()
+		wt := ins.wireIn.Value() + ins.wireOut.Value()
+		if wt > 0 {
+			ins.compRatio.Set(lt * 1000 / wt)
 		}
 	}
-	ins.tracer.Record(obs.EvFrame, frameKindName(kind), dir, int64(payload))
+	ins.tracer.Record(obs.EvFrame, frameKindName(kind), dir, int64(logical))
 }
 
 // noteLink counts one link lifecycle event ("retry", "miss", "heal",

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dpn/internal/token/blocks"
 )
 
 // chunkSize is the outbound link's base read granularity.
@@ -53,6 +55,11 @@ func (c *outChunk) release() {
 	}
 	*c = outChunk{}
 }
+
+// compressMin is the smallest DATA payload worth a compression trial.
+// Below it the frame is latency-bound, not bandwidth-bound, and the
+// trial's scan would cost more than the bytes it saves.
+const compressMin = 256
 
 // DefaultWindow is the flow-control window used when a link is created
 // with a non-positive window: the sender keeps at most this many
@@ -283,14 +290,23 @@ func (b *Broker) ServeOutbound(token string, src io.ReadCloser, window int) (*Ha
 type traceTaker interface{ TakeTraceMark() uint64 }
 type traceMarker interface{ MarkTrace(id uint64) }
 
+// shapeSource mirrors stream.ShapeSource structurally: sources whose
+// advisory element-shape hint steers the wire compressor's trial
+// encoding. A source without one still compresses — the default int
+// trial catches monotone runs regardless.
+type shapeSource interface{ ShapeHint() uint32 }
+
 func (b *Broker) newOutbound(h *Handle, src io.ReadCloser, window int, serve bool, addr, token string) *outboundLink {
 	res := b.resilience()
 	w := normWindow(window)
 	tt, _ := src.(traceTaker)
+	ss, _ := src.(shapeSource)
 	return &outboundLink{
 		h:         h,
 		src:       src,
 		traceSrc:  tt,
+		shapeSrc:  ss,
+		comp:      b.compression(),
 		window:    w,
 		frameMax:  normFrameMax(w),
 		res:       res,
@@ -485,6 +501,12 @@ type outboundLink struct {
 	src io.ReadCloser
 	// traceSrc is src's trace-mark tap, nil when src is not trace-aware.
 	traceSrc traceTaker
+	// shapeSrc is src's element-shape tap, nil when src carries no hint.
+	shapeSrc shapeSource
+	// comp enables columnar block compression of DATA payloads; enc is
+	// the run goroutine's reusable encoder scratch.
+	comp bool
+	enc  blocks.Encoder
 
 	mu            sync.Mutex
 	redirectToken string
@@ -577,20 +599,78 @@ func (o *outboundLink) writeLink(conn net.Conn, f frame) error {
 // writeData writes one DATA frame as a single conn.Write: the header
 // lands in the chunk buffer's reserved headroom directly before the
 // payload, so there is no second syscall and no torn frame boundary
-// between header and payload.
+// between header and payload. Element-aligned payloads first get a
+// compression trial (see writeCompressed); the raw path below is both
+// the incompressible fallback and the only path when compression is
+// off. Successful writes account themselves through noteData, so every
+// caller — first send and RESUME replay alike — reports identical
+// wire/logical byte pairs.
 func (o *outboundLink) writeData(conn net.Conn, c outChunk) error {
+	n := len(c.data)
+	if o.comp && n >= compressMin && n%8 == 0 {
+		if done, err := o.writeCompressed(conn, c); done {
+			return err
+		}
+	}
 	if c.orig == nil || c.start < frameHdrLen {
-		return o.writeLink(conn, frame{kind: frameData, payload: c.data})
+		err := o.writeLink(conn, frame{kind: frameData, payload: c.data})
+		if err == nil {
+			o.h.b.noteData(frameData, true, n, n)
+		}
+		return err
 	}
 	if o.res != nil {
 		conn.SetWriteDeadline(time.Now().Add(o.res.MissDeadline))
 		defer conn.SetWriteDeadline(time.Time{})
 	}
-	full := (*c.orig)[c.start-frameHdrLen : c.start+len(c.data)]
+	full := (*c.orig)[c.start-frameHdrLen : c.start+n]
 	full[0] = frameData
-	binary.BigEndian.PutUint32(full[1:frameHdrLen], uint32(len(c.data)))
+	binary.BigEndian.PutUint32(full[1:frameHdrLen], uint32(n))
 	_, err := conn.Write(full)
+	if err == nil {
+		o.h.b.noteData(frameData, true, n, n)
+	}
 	return err
+}
+
+// writeCompressed trial-seals c.data as one columnar block and, when
+// the block saves at least 1/8 of the raw size, ships it as a single
+// DATA-C frame (header + block in one conn.Write, like the raw path).
+// done=false means nothing was written — the block did not pay for
+// itself — and the caller ships the chunk raw. The chunk itself is
+// never modified: flow control, the RESUME offsets, and the unacked
+// replay buffer all keep working in logical (uncompressed) bytes, and
+// a replayed chunk is simply re-sealed here.
+func (o *outboundLink) writeCompressed(conn net.Conn, c outChunk) (done bool, err error) {
+	shape := blocks.ShapeNone
+	if o.shapeSrc != nil {
+		shape = blocks.Shape(o.shapeSrc.ShapeHint())
+	}
+	n := len(c.data)
+	bp := getChunkBuf()
+	defer putChunkBuf(bp)
+	block, ok := o.enc.EncodeBE((*bp)[frameHdrLen:frameHdrLen], c.data, shape, n-n/8)
+	if !ok {
+		return false, nil
+	}
+	if &block[0] != &(*bp)[frameHdrLen] {
+		// The block outgrew the pooled buffer's headroomed region —
+		// impossible for frame-sized chunks, but never ship from a
+		// reallocated slice the header can't prefix in place.
+		return false, nil
+	}
+	full := (*bp)[:frameHdrLen+len(block)]
+	full[0] = frameDataC
+	binary.BigEndian.PutUint32(full[1:frameHdrLen], uint32(len(block)))
+	if o.res != nil {
+		conn.SetWriteDeadline(time.Now().Add(o.res.MissDeadline))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	if _, err := conn.Write(full); err != nil {
+		return true, err
+	}
+	o.h.b.noteData(frameDataC, true, len(block), n)
+	return true, nil
 }
 
 // takeTrace claims the trace ID for the DATA frame about to be sent: a
@@ -860,7 +940,6 @@ func (o *outboundLink) resync(conn net.Conn) bool {
 		if err := o.writeData(conn, sc.c); err != nil {
 			return false
 		}
-		o.h.b.noteFrame(frameData, true, len(sc.c.data))
 	}
 	o.inFlight = int(o.sendOff - o.ackOff)
 	return true
@@ -985,7 +1064,6 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 			o.h.finish(fmt.Errorf("netio: send failed: %w", err))
 			return sessDone, nil, progressed
 		}
-		o.h.b.noteFrame(frameData, true, len(chunk.data))
 		o.inFlight += len(chunk.data)
 		if o.res != nil {
 			o.unacked = append(o.unacked, sentChunk{off: o.sendOff, c: chunk})
@@ -1238,9 +1316,13 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 	}
 	// One pooled buffer serves every frame of the session: the payload
 	// is copied into the local pipe before the next read, so the frame
-	// reader can alias its scratch instead of allocating per frame.
+	// reader can alias its scratch instead of allocating per frame. A
+	// second pooled buffer holds unsealed DATA-C payloads — decode
+	// output cannot alias the scratch the block itself sits in.
 	scratch := getChunkBuf()
 	defer putChunkBuf(scratch)
+	dec := getChunkBuf()
+	defer putChunkBuf(dec)
 	for {
 		if i.res != nil {
 			conn.SetReadDeadline(time.Now().Add(i.res.MissDeadline))
@@ -1272,7 +1354,9 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 			return true, progressed
 		}
 		progressed = true
-		i.h.b.noteFrame(f.kind, false, len(f.payload))
+		if f.kind != frameData && f.kind != frameDataC {
+			i.h.b.noteFrame(f.kind, false, len(f.payload))
+		}
 		switch f.kind {
 		case frameBeat:
 			// Liveness only.
@@ -1286,8 +1370,22 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 			if i.traceDst != nil {
 				i.traceDst.MarkTrace(f.off)
 			}
-		case frameData:
-			if _, err := i.dst.Write(f.payload); err != nil {
+		case frameData, frameDataC:
+			payload := f.payload
+			if f.kind == frameDataC {
+				out, derr := blocks.DecodeBE((*dec)[:0], f.payload, coalesceMax)
+				if derr != nil {
+					// A block that fails its strict decode is wire
+					// corruption, exactly like an unknown frame kind.
+					conn.Close()
+					i.dst.Close()
+					i.h.finish(ErrBadFrame)
+					return true, progressed
+				}
+				payload = out
+			}
+			i.h.b.noteData(f.kind, false, len(f.payload), len(payload))
+			if _, err := i.dst.Write(payload); err != nil {
 				// Local reader closed: cascade upstream (§3.4).
 				i.ctrlWrite(conn, frame{kind: frameCloseRead})
 				i.h.b.noteFrame(frameCloseRead, true, 0)
@@ -1295,9 +1393,11 @@ func (i *inboundLink) session(conn net.Conn) (done, progressed bool) {
 				i.h.finish(nil)
 				return true, progressed
 			}
-			i.delivered += uint64(len(f.payload))
-			// Grant the sender credit for the consumed bytes.
-			i.ctrlWrite(conn, frame{kind: frameAck, ack: len(f.payload)})
+			i.delivered += uint64(len(payload))
+			// Grant the sender credit for the consumed LOGICAL bytes —
+			// the sender's window, offsets, and replay buffer all count
+			// the uncompressed stream.
+			i.ctrlWrite(conn, frame{kind: frameAck, ack: len(payload)})
 			i.h.b.noteFrame(frameAck, true, 0)
 		case frameEOF:
 			if i.res != nil {

@@ -83,6 +83,12 @@ type Pipe struct {
 	// (outbound links, pool dispatch) look at it, at chunk/task
 	// granularity.
 	trace atomic.Uint64
+
+	// shape is the advisory element-shape hint (see HintShape). Like
+	// trace, it lives outside the mutex and is ignored by Read/Write:
+	// only token batch writers store it and only outbound links load
+	// it, so the hint costs the data plane nothing.
+	shape atomic.Uint32
 }
 
 // NewPipe returns a pipe with the given buffer capacity. Non-positive
@@ -531,6 +537,30 @@ func (p *Pipe) TakeTraceMark() uint64 {
 	return p.trace.Swap(0)
 }
 
+// HintShape records an advisory hint about the shape of the elements
+// currently flowing through the pipe (the values are the
+// token/blocks Shape constants: 0 none, 1 int64 runs, 2 float64
+// runs). The hint carries no correctness weight — it only steers the
+// wire compressor toward the right trial encoding — so it is a plain
+// last-writer-wins atomic with no relation to byte positions, and a
+// stale or missing hint merely costs compression ratio, never data.
+func (p *Pipe) HintShape(s uint32) { p.shape.Store(s) }
+
+// ShapeHint returns the current advisory element-shape hint.
+func (p *Pipe) ShapeHint() uint32 { return p.shape.Load() }
+
+// ShapeHinter is implemented by sinks that can carry an advisory
+// element-shape hint toward a transport binding.
+type ShapeHinter interface {
+	HintShape(s uint32)
+}
+
+// ShapeSource is implemented by sources that expose the pending
+// element-shape hint to a transport binding.
+type ShapeSource interface {
+	ShapeHint() uint32
+}
+
 // TraceMarker is implemented by sinks that can carry a causal trace
 // mark alongside the data written to them.
 type TraceMarker interface {
@@ -565,6 +595,7 @@ type writerEnd struct{ p *Pipe }
 func (w writerEnd) Write(b []byte) (int, error)          { return w.p.Write(b) }
 func (w writerEnd) WriteVec(bufs ...[]byte) (int, error) { return w.p.WriteVec(bufs...) }
 func (w writerEnd) MarkTrace(id uint64)                  { w.p.MarkTrace(id) }
+func (w writerEnd) HintShape(s uint32)                   { w.p.HintShape(s) }
 func (w writerEnd) Close() error                         { return w.p.CloseWrite() }
 
 // readerEnd adapts the pipe's read half to io.ReadCloser.
@@ -573,6 +604,7 @@ type readerEnd struct{ p *Pipe }
 func (r readerEnd) Read(b []byte) (int, error) { return r.p.Read(b) }
 func (r readerEnd) Buffered() int              { return r.p.Buffered() }
 func (r readerEnd) TakeTraceMark() uint64      { return r.p.TakeTraceMark() }
+func (r readerEnd) ShapeHint() uint32          { return r.p.ShapeHint() }
 func (r readerEnd) Close() error               { return r.p.CloseRead() }
 
 // WriteEnd returns the pipe's write half as an io.WriteCloser whose Close

@@ -121,6 +121,20 @@ func (s *SequenceReader) TakeTraceMark() uint64 {
 	return 0
 }
 
+// ShapeHint reports the current source's advisory element-shape hint,
+// or 0 when the source does not expose one. Like Buffered, it lets a
+// conduit's exit stay transparent to hints stamped on the underlying
+// pipe by token batch writers.
+func (s *SequenceReader) ShapeHint() uint32 {
+	s.mu.Lock()
+	cur := s.current
+	s.mu.Unlock()
+	if ss, ok := cur.(ShapeSource); ok {
+		return ss.ShapeHint()
+	}
+	return 0
+}
+
 // Retarget replaces the current source and clears the queue, closing the
 // displaced sources. It is used when a channel's transport is swapped
 // wholesale (local pipe replaced by a network stream during migration).

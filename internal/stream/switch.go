@@ -73,6 +73,19 @@ func (s *SwitchWriter) WriteVec(bufs ...[]byte) (int, error) {
 	return w.Write(tmp)
 }
 
+// HintShape forwards an advisory element-shape hint to the current
+// sink when it carries one (the local pipe does). The sink is resolved
+// under the same lock as Write, so a hint never lands on a sink the
+// stamping writer has already been switched away from.
+func (s *SwitchWriter) HintShape(shape uint32) {
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	if sh, ok := w.(ShapeHinter); ok {
+		sh.HintShape(shape)
+	}
+}
+
 // Retarget swaps the sink. The previous sink is returned (not closed):
 // the migration machinery usually still needs it, for example to pump
 // residual pipe contents to the network.

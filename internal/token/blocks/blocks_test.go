@@ -1,0 +1,266 @@
+package blocks
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// beInt64s renders vs in the channel wire format (big-endian 8-byte
+// elements), the byte shape EncodeBE operates on.
+func beInt64s(vs []int64) []byte {
+	b := make([]byte, len(vs)*8)
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return b
+}
+
+func beFloat64s(vs []float64) []byte {
+	b := make([]byte, len(vs)*8)
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// roundTripBE seals src with the given shape and decodes it back,
+// requiring byte identity. Runs that refuse to seal under the link's
+// size limit take the raw-block fallback, exactly as writeData does.
+func roundTripBE(t *testing.T, src []byte, shape Shape) (ratio float64) {
+	t.Helper()
+	var e Encoder
+	block, ok := e.EncodeBE(nil, src, shape, len(src))
+	if !ok {
+		block = AppendRaw(nil, src)
+	}
+	got, err := DecodeBE(nil, block, len(src))
+	if err != nil {
+		t.Fatalf("DecodeBE: %v", err)
+	}
+	if string(got) != string(src) {
+		t.Fatalf("round trip diverged: %d bytes in, %d out", len(src), len(got))
+	}
+	return float64(len(src)) / float64(len(block))
+}
+
+func TestCodecRoundTripInt64Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := map[string][]int64{
+		"monotone":  nil,
+		"constant":  nil,
+		"walk":      nil,
+		"wide":      nil,
+		"extremes":  {math.MinInt64, math.MaxInt64, 0, -1, 1, math.MinInt64, math.MaxInt64},
+		"single":    {42},
+		"negatives": nil,
+	}
+	mono := make([]int64, 4096)
+	cons := make([]int64, 4096)
+	walk := make([]int64, 4096)
+	wide := make([]int64, 4096)
+	negs := make([]int64, 512)
+	v := int64(0)
+	for i := range mono {
+		mono[i] = int64(i) * 3
+		cons[i] = -7
+		v += rng.Int63n(64) - 32
+		walk[i] = v
+		wide[i] = rng.Int63() - rng.Int63()
+	}
+	for i := range negs {
+		negs[i] = -int64(i) * 1000003
+	}
+	cases["monotone"], cases["constant"], cases["walk"], cases["wide"], cases["negatives"] =
+		mono, cons, walk, wide, negs
+	for name, vs := range cases {
+		t.Run(name, func(t *testing.T) {
+			ratio := roundTripBE(t, beInt64s(vs), ShapeInt64)
+			t.Logf("%s: %.2fx", name, ratio)
+		})
+	}
+}
+
+func TestCodecRoundTripFloat64Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mono := make([]float64, 4096)
+	cons := make([]float64, 4096)
+	walk := make([]float64, 4096)
+	for i := range mono {
+		mono[i] = float64(i) * 0.5
+		cons[i] = 3.25
+		if i > 0 {
+			walk[i] = walk[i-1] + float64(rng.Intn(16))/16
+		}
+	}
+	special := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for name, vs := range map[string][]float64{
+		"monotone": mono, "constant": cons, "walk": walk, "special": special,
+	} {
+		t.Run(name, func(t *testing.T) {
+			ratio := roundTripBE(t, beFloat64s(vs), ShapeFloat64)
+			t.Logf("%s: %.2fx", name, ratio)
+		})
+	}
+}
+
+// TestCodecRatioFloor is the -codec gate's compression floor: monotone
+// int64 runs (sieve output, task sequence numbers) must compress at
+// least 4x, and the raw fallback block must never cost more than 1.02x
+// the unencoded bytes.
+func TestCodecRatioFloor(t *testing.T) {
+	vs := make([]int64, 4096)
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	src := beInt64s(vs)
+	var e Encoder
+	block, ok := e.EncodeBE(nil, src, ShapeInt64, len(src))
+	if !ok {
+		t.Fatal("monotone run did not compress")
+	}
+	if ratio := float64(len(src)) / float64(len(block)); ratio < 4 {
+		t.Fatalf("monotone int64 ratio %.2fx below the 4x floor", ratio)
+	} else {
+		t.Logf("monotone int64: %.2fx (%d -> %d bytes)", ratio, len(src), len(block))
+	}
+	// Incompressible data: EncodeBE refuses (the link then ships the
+	// bytes raw at exactly 1.00x), and the explicit raw block's header
+	// overhead stays under 2%.
+	rng := rand.New(rand.NewSource(77))
+	wide := make([]int64, 64)
+	for i := range wide {
+		wide[i] = int64(rng.Uint64())
+	}
+	wsrc := beInt64s(wide)
+	if _, ok := e.EncodeBE(nil, wsrc, ShapeInt64, len(wsrc)-len(wsrc)/8); ok {
+		t.Fatal("full-width random run claimed to compress below 7/8 of raw")
+	}
+	raw := AppendRaw(nil, wsrc)
+	if over := float64(len(raw)) / float64(len(wsrc)); over > 1.02 {
+		t.Fatalf("raw fallback overhead %.4fx exceeds 1.02x", over)
+	}
+	got, err := DecodeBE(nil, raw, len(wsrc))
+	if err != nil || string(got) != string(wsrc) {
+		t.Fatalf("raw fallback round trip: %v", err)
+	}
+}
+
+// TestCodecValueAPIs covers the []int64/[]float64 convenience surface,
+// including its raw fallback path.
+func TestCodecValueAPIs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ints := make([]int64, 1000)
+	floats := make([]float64, 1000)
+	for i := range ints {
+		ints[i] = int64(i * i)
+		floats[i] = rng.NormFloat64()
+	}
+	ib := AppendInt64s(nil, ints)
+	gotI, err := DecodeInt64s(nil, ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ints {
+		if gotI[i] != v {
+			t.Fatalf("int64 %d: got %d want %d", i, gotI[i], v)
+		}
+	}
+	fb := AppendFloat64s(nil, floats)
+	gotF, err := DecodeFloat64s(nil, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range floats {
+		if math.Float64bits(gotF[i]) != math.Float64bits(v) {
+			t.Fatalf("float64 %d: got %v want %v", i, gotF[i], v)
+		}
+	}
+}
+
+// TestCodecRejectsMalformed drives the decoder through the corruption
+// taxonomy: every case must return an error wrapping ErrCorrupt, with
+// no panic and no over-read.
+func TestCodecRejectsMalformed(t *testing.T) {
+	vs := make([]int64, 512)
+	for i := range vs {
+		vs[i] = int64(i)
+	}
+	good := AppendInt64s(nil, vs)
+	cases := map[string][]byte{
+		"empty":         {},
+		"tag-only":      {TagIntPacked},
+		"unknown-tag":   append([]byte{0x90}, good[1:]...),
+		"flipped-tag":   append([]byte{TagFloatXOR}, good[1:]...),
+		"truncated":     good[:len(good)/2],
+		"trailing":      append(append([]byte{}, good...), 0xAB),
+		"zero-count":    {TagRaw, 0x00},
+		"huge-count":    {TagIntRLE, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		"bad-selector":  {TagIntPacked, 0x03, 0, 0, 0, 0, 0, 0, 0, 1, 0x10, 0, 0, 0, 0, 0, 0, 0},
+		"xor-bad-ctrl":  {TagFloatXOR, 0x02, 0xFF, 0x80},
+		"xor-truncated": {TagFloatXOR, 0x02, 0x07},
+	}
+	for name, block := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeBE(nil, block, 1<<20); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+	// A count that is well-formed but exceeds the caller's frame bound
+	// must be rejected before any output is produced.
+	if _, err := DecodeBE(nil, good, 64); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized count: want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestCodecEncodeBounds covers EncodeBE's input contract: misaligned
+// and empty runs are refused, and a limit below the achievable size
+// returns false with dst untouched.
+func TestCodecEncodeBounds(t *testing.T) {
+	var e Encoder
+	if _, ok := e.EncodeBE(nil, make([]byte, 12), ShapeInt64, 12); ok {
+		t.Fatal("accepted a misaligned run")
+	}
+	if _, ok := e.EncodeBE(nil, nil, ShapeInt64, 8); ok {
+		t.Fatal("accepted an empty run")
+	}
+	src := beInt64s([]int64{1, 2, 3, 4})
+	dst := []byte{0xEE}
+	out, ok := e.EncodeBE(dst, src, ShapeInt64, 2)
+	if ok {
+		t.Fatal("4 elements cannot seal into 2 bytes")
+	}
+	if len(out) != 1 || out[0] != 0xEE {
+		t.Fatal("failed encode modified dst")
+	}
+}
+
+// TestCodecZeroAlloc verifies the link-path contract: with scratch
+// capacity in place, sealing and unsealing a chunk allocates nothing.
+func TestCodecZeroAlloc(t *testing.T) {
+	vs := make([]int64, 4096)
+	for i := range vs {
+		vs[i] = int64(i) * 5
+	}
+	src := beInt64s(vs)
+	var e Encoder
+	enc := make([]byte, 0, len(src))
+	dec := make([]byte, 0, len(src))
+	// Warm the Encoder's delta scratch.
+	e.EncodeBE(enc, src, ShapeInt64, len(src))
+	allocs := testing.AllocsPerRun(100, func() {
+		block, ok := e.EncodeBE(enc[:0], src, ShapeInt64, len(src))
+		if !ok {
+			t.Fatal("encode failed")
+		}
+		if _, err := DecodeBE(dec[:0], block, len(src)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("seal+unseal allocated %.1f times per run", allocs)
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"dpn/internal/token/blocks"
 )
 
 // MaxBlockSize bounds the length prefix of blocks and objects to guard
@@ -74,6 +76,10 @@ type vecWriter interface {
 // bufferedReader matches stream.BufferedReader structurally: sources
 // that report how many bytes are readable without blocking.
 type bufferedReader interface{ Buffered() int }
+
+// shapeHinter matches stream.ShapeHinter structurally: sinks that can
+// carry an advisory element-shape hint toward a transport binding.
+type shapeHinter interface{ HintShape(s uint32) }
 
 // NewReader returns a typed reader over r.
 func NewReader(r io.Reader) *Reader {
@@ -351,6 +357,8 @@ type Writer struct {
 	vw      vecWriter
 	noter   tokenNoter
 	batch   tokenBatchNoter
+	hinter  shapeHinter
+	hinted  blocks.Shape
 	scratch [8]byte
 	stage   []byte
 }
@@ -361,7 +369,21 @@ func NewWriter(w io.Writer) *Writer {
 	e.vw, _ = w.(vecWriter)
 	e.noter, _ = w.(tokenNoter)
 	e.batch, _ = w.(tokenBatchNoter)
+	e.hinter, _ = w.(shapeHinter)
 	return e
+}
+
+// hint stamps the sink with the advisory element-shape of the batch
+// paths (see blocks.Shape). Only the batch writers call it — the
+// singular 8-byte fast path must stay hint-free — and the stamp is
+// cached per Writer so a long-lived batch producer pays one atomic
+// store total, not one per call.
+func (e *Writer) hint(s blocks.Shape) {
+	if e.hinter == nil || e.hinted == s {
+		return
+	}
+	e.hinted = s
+	e.hinter.HintShape(uint32(s))
 }
 
 // note records one encoded element (leaf writers only; see
@@ -443,6 +465,7 @@ func (e *Writer) WriteByte(b byte) error {
 // into single sink writes. Observable semantics match a loop of
 // WriteInt64 calls; only the write (and wakeup) count differs.
 func (e *Writer) WriteInt64s(vs []int64) error {
+	e.hint(blocks.ShapeInt64)
 	for len(vs) > 0 {
 		k := len(vs)
 		if k*8 > stageMax {
@@ -463,6 +486,7 @@ func (e *Writer) WriteInt64s(vs []int64) error {
 
 // WriteFloat64s is WriteInt64s for float64 elements.
 func (e *Writer) WriteFloat64s(vs []float64) error {
+	e.hint(blocks.ShapeFloat64)
 	for len(vs) > 0 {
 		k := len(vs)
 		if k*8 > stageMax {

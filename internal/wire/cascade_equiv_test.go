@@ -9,6 +9,9 @@ import (
 	"time"
 
 	"dpn/internal/core"
+	"dpn/internal/faults"
+	"dpn/internal/netio"
+	"dpn/internal/obs"
 	"dpn/internal/token"
 )
 
@@ -180,6 +183,241 @@ func runTCPRebind(t *testing.T, cc cascadeCase) []int64 {
 	waitNet(t, b.Net, "old consumer node")
 	waitNet(t, c.Net, "new consumer node")
 	return colC.Vals
+}
+
+// --- Compressed-conduit equivalence (PR 8) ---------------------------
+//
+// The wire compressor must be invisible to the computed stream: a
+// batched monotone producer — the shape that actually compresses, and
+// the shape that stamps the int64 hint — must yield the identical
+// element sequence whether the conduit is in-proc (never compressed),
+// tcp-bound (compressed), tcp under chaos faults with replayed chunks
+// re-sealed after every reconnect, or rebound mid-stream by a live
+// migration whose SealAndDrain races sealed blocks in flight.
+
+// batchSource emits monotone int64 runs through the batch path, so
+// every TCP chunk is compressible and shape-hinted.
+type batchSource struct {
+	core.Iterative
+	Out  *core.WritePort
+	Next int64
+}
+
+func (s *batchSource) Step(env *core.Env) error {
+	time.Sleep(50 * time.Microsecond)
+	var vals [64]int64
+	for i := range vals {
+		vals[i] = s.Next
+		s.Next++
+	}
+	return token.NewWriter(s.Out).WriteInt64s(vals[:])
+}
+
+// batchCollect drains int64 elements with the batch read path until
+// the producer's EOF cascades down.
+type batchCollect struct {
+	In   *core.ReadPort
+	Vals []int64
+
+	progress atomic.Int64
+}
+
+func (c *batchCollect) Step(env *core.Env) error {
+	var buf [256]int64
+	n, err := token.NewReader(c.In).ReadInt64s(buf[:])
+	if n > 0 {
+		c.Vals = append(c.Vals, buf[:n]...)
+		c.progress.Store(int64(len(c.Vals)))
+	}
+	return err
+}
+
+func init() {
+	gob.Register(&batchSource{})
+	gob.Register(&batchCollect{})
+}
+
+const batchEqSteps = 100 // 64 elements per step
+
+func batchEqWant() []int64 {
+	want := make([]int64, batchEqSteps*64)
+	for i := range want {
+		want[i] = int64(i)
+	}
+	return want
+}
+
+func newBatchSource() *batchSource {
+	s := &batchSource{}
+	s.Iterations = batchEqSteps
+	return s
+}
+
+// dataCSent reads a node's outbound DATA-C frame counter — the
+// evidence that compression actually engaged on its links.
+func dataCSent(n *Node) int64 {
+	return n.Obs().Registry().Counter("dpn_broker_frames_total",
+		obs.L("dir", "out"), obs.L("kind", "data-c")).Value()
+}
+
+// runBatchTCP runs the batched graph across a tcp-bound conduit
+// between two prepared nodes and returns the collected stream.
+func runBatchTCP(t *testing.T, a, b *Node) []int64 {
+	t.Helper()
+	ch := a.Net.NewChannel("ceq", 256)
+	src := newBatchSource()
+	src.Out = ch.Writer()
+	parcel, err := Export(a, b.Broker.Addr(), &batchCollect{In: ch.Reader()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := Import(b, ship(t, parcel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := procs[0].(*batchCollect)
+	b.Net.Spawn(col)
+	a.Net.Spawn(src)
+	waitNet(t, a.Net, "producer node")
+	waitNet(t, b.Net, "consumer node")
+	return col.Vals
+}
+
+// runBatchTCPRebind migrates the running collector B→C mid-stream, so
+// SealAndDrain fences the compressed-bound conduit with sealed blocks
+// in flight.
+func runBatchTCPRebind(t *testing.T, a, b, c *Node) []int64 {
+	t.Helper()
+	ch := a.Net.NewChannel("ceq", 256)
+	src := newBatchSource()
+	src.Out = ch.Writer()
+	parcel, err := Export(a, b.Broker.Addr(), &batchCollect{In: ch.Reader()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := Import(b, ship(t, parcel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB := procs[0].(*batchCollect)
+	h := b.Net.Spawn(colB)
+	a.Net.Spawn(src)
+
+	want := batchEqSteps * 64
+	deadline := time.Now().Add(10 * time.Second)
+	for colB.progress.Load() < int64(want/4) {
+		if time.Now().After(deadline) {
+			t.Fatal("collector made no progress before migration")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p2, err := Migrate(b, c.Broker.Addr(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := colB.progress.Load(); n == 0 || n >= int64(want) {
+		t.Fatalf("migration did not land mid-stream: %d elements", n)
+	}
+	procsC, err := Import(c, ship(t, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colC := procsC[0].(*batchCollect)
+	c.Net.Spawn(colC)
+	waitNet(t, a.Net, "producer node")
+	waitNet(t, b.Net, "old consumer node")
+	waitNet(t, c.Net, "new consumer node")
+	return colC.Vals
+}
+
+func TestCascadeEquivalenceCompressedConduits(t *testing.T) {
+	want := batchEqWant()
+
+	// In-proc: the loopback plane must stay untouched by compression.
+	a0 := newTestNode(t)
+	ch := a0.Net.NewChannel("ceq", 256)
+	src := newBatchSource()
+	src.Out = ch.Writer()
+	col := &batchCollect{In: ch.Reader()}
+	a0.Net.Spawn(src)
+	a0.Net.Spawn(col)
+	waitNet(t, a0.Net, "inproc network")
+	if !reflect.DeepEqual(col.Vals, want) {
+		t.Fatalf("inproc collected %d elements, want %d", len(col.Vals), len(want))
+	}
+	if n := dataCSent(a0); n != 0 {
+		t.Fatalf("in-proc deployment sent %d DATA-C frames", n)
+	}
+
+	// TCP: identical stream, and compression demonstrably engaged.
+	a, b := newTestNode(t), newTestNode(t)
+	if got := runBatchTCP(t, a, b); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tcp deployment diverged: %d elements", len(got))
+	}
+	if dataCSent(a) == 0 {
+		t.Fatal("tcp deployment never compressed a frame")
+	}
+
+	// TCP with compression disabled on the sender: the element stream
+	// must again be identical, proving the codec is pure transport.
+	ap, bp := newTestNode(t), newTestNode(t)
+	ap.Broker.SetCompression(false)
+	if got := runBatchTCP(t, ap, bp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("compression-off deployment diverged: %d elements", len(got))
+	}
+	if n := dataCSent(ap); n != 0 {
+		t.Fatalf("compression-off sender sent %d DATA-C frames", n)
+	}
+
+	// Mid-stream migration: SealAndDrain with sealed blocks in flight.
+	ma, mb, mc := newTestNode(t), newTestNode(t), newTestNode(t)
+	if got := runBatchTCPRebind(t, ma, mb, mc); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-stream rebind diverged: %d elements", len(got))
+	}
+	if dataCSent(ma) == 0 {
+		t.Fatal("rebind deployment never compressed a frame")
+	}
+}
+
+// TestCascadeEquivalenceCompressedChaos reruns the compressed tcp and
+// mid-rebind deployments under seeded latency/jitter fault injection
+// with resilient links: reconnects replay unacked chunks, which are
+// re-sealed per connection, and the stream must still be
+// element-identical. Runs under the -chaos gate; replay a failure with
+// CHAOS_SEED.
+func TestCascadeEquivalenceCompressedChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	seed := chaosWireSeed(t, 4242)
+	t.Logf("chaos seed %d", seed)
+	inj := faults.New(faults.Config{
+		Seed:    seed,
+		Latency: 200 * time.Microsecond,
+		Jitter:  300 * time.Microsecond,
+	})
+	res := netio.Resilience{
+		HeartbeatEvery: 30 * time.Millisecond,
+		MissDeadline:   500 * time.Millisecond,
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       60 * time.Millisecond,
+		LinkDeadline:   10 * time.Second,
+		Seed:           seed,
+	}
+	want := batchEqWant()
+
+	a, b := newChaosWireNode(t, inj, res), newChaosWireNode(t, inj, res)
+	if got := runBatchTCP(t, a, b); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaos tcp deployment diverged: %d elements", len(got))
+	}
+	if dataCSent(a) == 0 {
+		t.Fatal("chaos tcp deployment never compressed a frame")
+	}
+
+	ma, mb, mc := newChaosWireNode(t, inj, res), newChaosWireNode(t, inj, res), newChaosWireNode(t, inj, res)
+	if got := runBatchTCPRebind(t, ma, mb, mc); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaos mid-rebind deployment diverged: %d elements", len(got))
+	}
 }
 
 func TestCascadeEquivalenceAcrossTransports(t *testing.T) {

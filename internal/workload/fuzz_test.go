@@ -30,6 +30,30 @@ func TestGraphFuzzLoopbackVsTCP(t *testing.T) {
 	settled(t, baseline)
 }
 
+// TestGraphFuzzChaos folds the fuzzer's plan space into the chaos
+// gate (the ROADMAP leftover from PR 7): random DAG topologies run
+// over TCP with seeded latency/jitter/drop fault injection and
+// resilient, compressed links, and every one must still match the
+// plan's pure-Go oracle byte for byte. A failure names the exact
+// seed; WORKLOAD_SEED replays it.
+func TestGraphFuzzChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph fuzzing in -short mode")
+	}
+	base := workloadSeed(t, 9091)
+	rounds := int64(4)
+	baseline := runtime.NumGoroutine()
+	for s := base; s < base+rounds; s++ {
+		plan := NewFuzzPlan(s)
+		sc := plan.Scenario()
+		t.Logf("workload seed %d: %d sources, %d ops, len %d", s, plan.Sources, len(plan.Ops), plan.Len)
+		if err := Check(sc, s, Chaos, deployOptions(Chaos, s)); err != nil {
+			t.Fatalf("replay with WORKLOAD_SEED=%d: %v", s, err)
+		}
+	}
+	settled(t, baseline)
+}
+
 // TestFuzzPlanReplay: the same seed must regenerate an identical plan
 // and oracle — the property the replay workflow rests on.
 func TestFuzzPlanReplay(t *testing.T) {

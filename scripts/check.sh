@@ -51,6 +51,13 @@
 #                    and data): a second failure is reproducible —
 #                    report it with that seed — while a replay pass
 #                    classifies the original failure as flaky.
+#   check.sh -codec  wire-codec gate: the columnar block codec's
+#                    round-trip identity, corruption-rejection, and
+#                    compression-floor tests (>= 4x on monotone int64
+#                    runs, raw fallback never worse than 1.02x), the
+#                    compressed-link integration tests, plus a short
+#                    native fuzz burst on the block decoder and the
+#                    token decode paths.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -154,19 +161,25 @@ if [ "${1:-}" = "-chaos" ]; then
 		echo "chaos gate: PASS"
 		exit 0
 	fi
+	# The chaos sweep now includes the graph-shape fuzzer's random
+	# topologies under fault injection (TestGraphFuzzChaos), which pin
+	# their topology with WORKLOAD_SEED; link-level chaos tests pin
+	# their fault schedule with CHAOS_SEED. Replay with whichever the
+	# failing run logged (both, when both appear).
 	seed=$(grep -Eo 'chaos seed [0-9]+' "$log" | tail -n 1 | grep -Eo '[0-9]+' || true)
-	if [ -z "$seed" ]; then
-		echo "chaos gate: FAIL (no 'chaos seed N' line logged; not replayable)"
+	wseed=$(grep -Eo 'workload seed -?[0-9]+' "$log" | tail -n 1 | grep -Eo '\-?[0-9]+' || true)
+	if [ -z "$seed" ] && [ -z "$wseed" ]; then
+		echo "chaos gate: FAIL (no 'chaos seed N' or 'workload seed N' line logged; not replayable)"
 		exit 1
 	fi
 	pkgs=$(grep -E '^(FAIL|---[ ]FAIL)' "$log" | grep -Eo '\bdpn/[a-z/]+' | sort -u || true)
 	[ -n "$pkgs" ] || pkgs=./...
-	echo "chaos gate: FAIL — replaying with CHAOS_SEED=$seed: $pkgs"
-	if CHAOS_SEED="$seed" go test -race -run Chaos -count=1 $pkgs; then
-		echo "chaos gate: FLAKY (seed $seed passed on replay; original failure did not reproduce)"
+	echo "chaos gate: FAIL — replaying with CHAOS_SEED=${seed:-unset} WORKLOAD_SEED=${wseed:-unset}: $pkgs"
+	if CHAOS_SEED="$seed" WORKLOAD_SEED="$wseed" go test -race -run Chaos -count=1 $pkgs; then
+		echo "chaos gate: FLAKY (seeds passed on replay; original failure did not reproduce)"
 		exit 1
 	fi
-	echo "chaos gate: REPRODUCIBLE — rerun with CHAOS_SEED=$seed to debug"
+	echo "chaos gate: REPRODUCIBLE — rerun with CHAOS_SEED=$seed WORKLOAD_SEED=$wseed to debug"
 	exit 1
 fi
 
@@ -215,6 +228,27 @@ if [ "${1:-}" = "-scenarios" ]; then
 	exit 1
 fi
 
+if [ "${1:-}" = "-codec" ]; then
+	fail=0
+	# Round-trip identity, the compression-ratio floor (>= 4x monotone
+	# int64, raw fallback <= 1.02x), corruption rejection, and the
+	# compressed-link integration tests — race-enabled, like everything
+	# else that touches the link plane.
+	pat='(Codec|CompressedLink|CompressionDisabled|IncompressibleStream|Float64Shape|CorruptCompressed|CascadeEquivalenceCompressedConduits)'
+	echo "codec gate: go test -race -run '$pat' -count=1 ./..."
+	go test -race -run "$pat" -count=1 -timeout 10m ./... || fail=1
+	# A short native fuzz burst per decoder: arbitrary blocks must fail
+	# clean (no panic, no over-read), our own blocks must round-trip.
+	for target in FuzzDecodeBE FuzzCodecInt64RoundTrip FuzzCodecFloat64RoundTrip; do
+		echo "codec gate: go test -run ^\$ -fuzz $target -fuzztime 5s ./internal/token/blocks/"
+		go test -run '^$' -fuzz "$target" -fuzztime 5s ./internal/token/blocks/ || fail=1
+	done
+	echo "codec gate: go test -run ^\$ -fuzz FuzzReaderDecode -fuzztime 5s ./internal/token/"
+	go test -run '^$' -fuzz FuzzReaderDecode -fuzztime 5s ./internal/token/ || fail=1
+	[ "$fail" -eq 0 ] && echo "codec gate: PASS" || echo "codec gate: FAIL"
+	exit "$fail"
+fi
+
 if [ "${1:-}" = "-pool" ]; then
 	pat='(Pool|Elastic|StaggeredClose|TornBlock|DeadLane|GatherAllClosed|GatherCorrupt|DirectBadIndex|WorkerKilled|BatchedRead|BatchedFloat)'
 	echo "pool gate: go test -race -run '$pat' -count=1 ./..."
@@ -232,5 +266,6 @@ go build ./...
 go test -race ./...
 set +x
 ./scripts/check.sh -pool
+./scripts/check.sh -codec
 ./scripts/check.sh -chaos
 ./scripts/check.sh -scenarios
