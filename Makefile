@@ -1,4 +1,4 @@
-.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 bench-pr7 bench-pr8 obs scenarios codec
+.PHONY: build test check chaos vet lint bench pool bench-pr4 bench-pr6 bench-pr7 bench-pr8 bench-pr9 obs scenarios codec wal
 
 build:
 	go build ./...
@@ -80,6 +80,20 @@ bench-pr8:
 # scripts/check.sh -codec. Part of `make check`.
 codec:
 	./scripts/check.sh -codec
+
+# Durability gate alone: the WAL torture/fuzz suite, the durable-conduit
+# restart tests, and the kill-restart scenario matrix (SIGKILL the
+# producer twice, byte-identical replay) under -race with WORKLOAD_SEED
+# replay on failure; see scripts/check.sh -wal. Part of `make check`.
+wal:
+	./scripts/check.sh -wal
+
+# Re-records the durable-conduit trajectory (BENCH_pr9.json):
+# journaling overhead vs the in-proc plane plus SIGKILL recovery times;
+# fails unless the kill-restart run verified and the cost stayed
+# <= 2.5x; see EXPERIMENTS.md, "Crash-restart trajectory".
+bench-pr9:
+	./scripts/bench.sh -pr9
 
 # Observability gate alone: the tracing/telemetry suites under -race
 # (including the multi-process metrics/dpntop/trace-merge smoke), then

@@ -11,6 +11,9 @@
 //	dpnbench -scenarios  the workload scenario suite: verified
 //	                     streaming/sieve/fuzz runs plus the many-client
 //	                     soak, with latency percentiles (BENCH_pr7.json)
+//	dpnbench -pr9        the durable-conduit trajectory: WAL journaling
+//	                     overhead vs loopback plus SIGKILL recovery
+//	                     times (BENCH_pr9.json)
 //	dpnbench -all        everything
 //
 // Tables 1–2 and the figures use the discrete-event cluster simulator
@@ -31,9 +34,13 @@ import (
 	"dpn/internal/core"
 	"dpn/internal/factor"
 	"dpn/internal/meta"
+	"dpn/internal/workload"
 )
 
 func main() {
+	// The -pr9 kill-restart experiment re-execs this binary as the
+	// scenario child; the env gate must win before flags or benches.
+	workload.ChildMain()
 	var (
 		table1   = flag.Bool("table1", false, "regenerate Table 1")
 		table2   = flag.Bool("table2", false, "regenerate Table 2")
@@ -44,6 +51,7 @@ func main() {
 		valSim   = flag.Bool("validate-sim", false, "cross-validate the simulator against the real runtime with sleep-emulated heterogeneous workers")
 		pr4      = flag.Bool("pr4", false, "skewed-cluster elasticity experiment: static vs dynamic vs elastic with sleep-emulated workers")
 		scenar   = flag.Bool("scenarios", false, "workload scenario suite: verified streaming/sieve/fuzz runs plus the many-client soak (BENCH_pr7.json)")
+		pr9      = flag.Bool("pr9", false, "durable-conduit trajectory: WAL journaling overhead and SIGKILL recovery (BENCH_pr9.json)")
 		soakG    = flag.Int("soakgraphs", 120, "with -scenarios: concurrent graphs in the soak")
 		soakS    = flag.Int("soakservers", 3, "with -scenarios: shared compute servers in the soak")
 		jsonOut  = flag.Bool("json", false, "with -pr4 or -scenarios, emit the report as JSON")
@@ -54,7 +62,7 @@ func main() {
 		batch    = flag.Int64("batch", 2048, "difference values per task (heavier than the paper's 32 so per-task compute dominates on modern hardware)")
 	)
 	flag.Parse()
-	if !(*table1 || *table2 || *fig19 || *fig20 || *overhead || *seqReal || *valSim || *pr4 || *scenar || *csv) {
+	if !(*table1 || *table2 || *fig19 || *fig20 || *overhead || *seqReal || *valSim || *pr4 || *scenar || *pr9 || *csv) {
 		*all = true
 	}
 	cfg := cluster.PaperConfig()
@@ -103,6 +111,9 @@ func main() {
 	}
 	if *all || *scenar {
 		runScenarios(*jsonOut, *soakG, *soakS)
+	}
+	if *all || *pr9 {
+		runPR9(*jsonOut)
 	}
 }
 

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dpn/internal/workload"
+)
+
+// pr9Report is the machine-readable record of the durable-conduit
+// trajectory (BENCH_pr9.json): what WAL journaling costs against the
+// in-proc plane, and how fast a SIGKILLed producer resumes.
+// scripts/bench.sh -pr9 asserts on it.
+type pr9Report struct {
+	benchEnv
+	Seed     int64  `json:"seed"`
+	Scenario string `json:"scenario"`
+	Elements int    `json:"elements"`
+	// ElementsPerSec rates are merged-output elements over whole-run
+	// wall time: loopback is the all-in-proc deployment, durable is
+	// the same scenario streamed from a child process through a
+	// WAL-journaled conduit (fsync batched per coalesced chunk), no
+	// kills. Their ratio is the gated journaling cost.
+	LoopbackElemPerSec      float64 `json:"loopback_elements_per_sec"`
+	DurableElemPerSec       float64 `json:"durable_elements_per_sec"`
+	DurableOverLoopbackCost float64 `json:"durable_over_loopback_cost"`
+	// RecoverySeconds: gate-scale kill-restart run, time from each
+	// child restart to the first element its dead incarnation had not
+	// already delivered.
+	RecoverySeconds []float64 `json:"recovery_seconds"`
+	KillRestartOK   bool      `json:"killrestart_ok"`
+}
+
+// runPR9 measures the durable-conduit trajectory: bench-scale
+// journaling overhead and gate-scale crash recovery.
+func runPR9(jsonOut bool) {
+	const seed = 2003
+	rep := pr9Report{benchEnv: currentEnv(), Seed: seed}
+
+	var bench workload.Scenario
+	for _, sc := range workload.BenchCatalog(seed) {
+		if sc.Name == "stream-int64" {
+			bench = sc
+		}
+	}
+	rep.Scenario = bench.Name
+	want := bench.Oracle(seed)
+	rep.Elements = len(want)
+
+	// Loopback baseline: the whole graph in-proc, full speed.
+	var stLB workload.RunStats
+	lb, err := workload.Run(bench, seed, workload.Loopback, workload.RunOptions{Stats: &stLB})
+	if err != nil {
+		fatal(err)
+	}
+	rep.LoopbackElemPerSec = float64(len(lb)) / stLB.Elapsed.Seconds()
+
+	// Durable: the same scenario produced by a child process and
+	// streamed through a WAL-journaled conduit — no kills, so the
+	// difference is pure journaling + boundary-crossing cost.
+	var stD workload.RunStats
+	dv, err := workload.Run(bench, seed, workload.KillRestart, workload.RunOptions{
+		Stats:     &stD,
+		KRCatalog: "bench",
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if len(dv) != len(want) {
+		fatal(fmt.Errorf("durable run diverged from oracle: %d elements, want %d", len(dv), len(want)))
+	}
+	for i := range want {
+		if dv[i] != want[i] {
+			fatal(fmt.Errorf("durable run diverged from oracle at element %d", i))
+		}
+	}
+	rep.DurableElemPerSec = float64(len(dv)) / stD.Elapsed.Seconds()
+	if rep.DurableElemPerSec > 0 {
+		rep.DurableOverLoopbackCost = rep.LoopbackElemPerSec / rep.DurableElemPerSec
+	}
+
+	// Recovery: gate scale, two SIGKILLs at the default quarter and
+	// half marks, output verified byte-identical against the oracle.
+	var gate workload.Scenario
+	for _, sc := range workload.Catalog(seed) {
+		if sc.Name == "stream-int64" {
+			gate = sc
+		}
+	}
+	var stK workload.RunStats
+	err = workload.Check(gate, seed, workload.KillRestart, workload.RunOptions{
+		Pace:  time.Millisecond,
+		Stats: &stK,
+	})
+	rep.KillRestartOK = err == nil && len(stK.Recoveries) > 0
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpnbench: kill-restart: %v\n", err)
+	}
+	for _, r := range stK.Recoveries {
+		rep.RecoverySeconds = append(rep.RecoverySeconds, r.Seconds())
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Durable conduit trajectory (seed %d, scenario %s, %d elements)\n",
+		seed, rep.Scenario, rep.Elements)
+	fmt.Printf("  loopback %11.0f elem/sec   durable %11.0f elem/sec   cost %.2fx\n",
+		rep.LoopbackElemPerSec, rep.DurableElemPerSec, rep.DurableOverLoopbackCost)
+	status := "ok"
+	if !rep.KillRestartOK {
+		status = "FAILED"
+	}
+	fmt.Printf("  kill-restart (gate scale): %s, recoveries", status)
+	for _, r := range rep.RecoverySeconds {
+		fmt.Printf(" %.3fs", r)
+	}
+	fmt.Println()
+}

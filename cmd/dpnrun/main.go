@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dpn/internal/cluster"
+	"dpn/internal/conduit"
 	"dpn/internal/core"
 	"dpn/internal/deadlock"
 	"dpn/internal/factor"
@@ -58,6 +59,7 @@ var collectTrace func() []obs.NodeTrace
 var chaosCfg struct {
 	faults    string
 	resilient bool
+	durable   string
 }
 
 // applyChaos wires the -faults / -resilient flags into a broker.
@@ -83,8 +85,8 @@ func applyChaos(b *netio.Broker) {
 // network broker: faults are injected at the connection boundary, so a
 // fully in-process graph has nowhere to apply them.
 func warnChaosUnused() {
-	if chaosCfg.faults != "" || chaosCfg.resilient {
-		fmt.Fprintln(os.Stderr, "dpnrun: -faults/-resilient ignored: this run has no network links")
+	if chaosCfg.faults != "" || chaosCfg.resilient || chaosCfg.durable != "" {
+		fmt.Fprintln(os.Stderr, "dpnrun: -faults/-resilient/-durable ignored: this run has no network links")
 	}
 }
 
@@ -204,12 +206,14 @@ func main() {
 		sample   = flag.Int("tracesample", 64, "with -trace: carry a causal trace mark on every Nth outbound data frame")
 		faultsF  = flag.String("faults", "", "inject network faults on this node's broker, e.g. seed=7,drop=0.01,latency=2ms,partition=1s:500ms,mode=stall")
 		resil    = flag.Bool("resilient", false, "resilient links: retry/backoff, heartbeats, resumable reconnect (set on every node or none)")
+		durableF = flag.String("durable", "", "journal boundary channels to a WAL under this directory; with -resilient, a kill -9 replays instead of losing bytes")
 	)
 	flag.Parse()
 	obsCfg.metrics, obsCfg.stats = *metrics, *stats
 	obsCfg.top, obsCfg.pprof, obsCfg.mutex = *top, *pprofF, *mutexF
 	obsCfg.trace, obsCfg.sample = *traceOut, *sample
 	chaosCfg.faults, chaosCfg.resilient = *faultsF, *resil
+	chaosCfg.durable = *durableF
 	if *graph != "factor" {
 		warnChaosUnused()
 	}
@@ -320,6 +324,16 @@ func runFactor(bits, workers int, static, elastic bool, serverList, registryAddr
 		}
 		defer node.Close()
 		applyChaos(node.Broker)
+		// Durable wraps whatever transport the node already has, so
+		// -faults composes: chaos faults under a journaled binding.
+		if chaosCfg.durable != "" {
+			node.SetTransport(conduit.Durable{
+				Inner: node.Transport(),
+				Dir:   chaosCfg.durable,
+				Obs:   node.Obs(),
+			})
+			fmt.Fprintf(os.Stderr, "durable conduits: journaling boundary channels under %s\n", chaosCfg.durable)
+		}
 		if obsCfg.trace != "" {
 			node.Broker.SetTraceSampling(obsCfg.sample)
 		}

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"dpn/internal/conduit"
 	"dpn/internal/deadlock"
 	"dpn/internal/faults"
 	"dpn/internal/netio"
@@ -50,6 +51,7 @@ func main() {
 		pprofF     = flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof/ on the observability endpoint")
 		mutexF     = flag.Int("mutexprofile", 0, "mutex profile sampling fraction passed to runtime.SetMutexProfileFraction (0 leaves profiling off)")
 		sample     = flag.Int("tracesample", 0, "carry a causal trace mark on every Nth outbound data frame and record span events (0 disables)")
+		durableF   = flag.String("durable", "", "journal boundary channels to a WAL under this directory; with -resilient, a kill -9 replays instead of losing bytes")
 	)
 	flag.Parse()
 
@@ -75,6 +77,16 @@ func main() {
 	// distributed graph must run with the same -resilient setting.
 	if *resil {
 		s.Node().Broker.SetResilience(netio.DefaultResilience())
+	}
+	// Durable wraps whatever transport the node already has (so
+	// -faults composes: chaos faults under a journaled binding).
+	if *durableF != "" {
+		s.Node().SetTransport(conduit.Durable{
+			Inner: s.Node().Transport(),
+			Dir:   *durableF,
+			Obs:   s.Node().Obs(),
+		})
+		fmt.Printf("durable conduits: journaling boundary channels under %s\n", *durableF)
 	}
 	if *mutexF > 0 {
 		runtime.SetMutexProfileFraction(*mutexF)

@@ -389,6 +389,11 @@ func (c *conn) Write(p []byte) (int, error) {
 		// torn frame followed by a reset, as with a mid-write crash.
 		n := 1 + int(c.inj.draw()*float64(len(p)-1))
 		wrote, err := c.Conn.Write(p[:n])
+		// Charge the pacer only for bytes that actually left: the caller
+		// retries the remainder (on a healed connection), and billing the
+		// full request here would bill those bytes twice, undershooting
+		// the configured rate.
+		c.throttle(wrote)
 		if err != nil {
 			return wrote, err
 		}

@@ -409,3 +409,40 @@ func TestInjectedCounter(t *testing.T) {
 		t.Fatalf("Injected() = 0 after a forced drop")
 	}
 }
+
+// TestRateChargesOnlyWrittenBytesUnderShortWrites is the regression
+// test for the pacing/short-write interaction: a short-write fault
+// delivers a prefix and breaks the connection, and the pacer must be
+// charged for exactly those delivered bytes. Mis-billing shows up as
+// sustained throughput drifting away from Config.Rate once the
+// remainder is retried on a fresh connection — uncharged prefixes
+// overshoot the rate, double-billed ones undershoot it.
+func TestRateChargesOnlyWrittenBytesUnderShortWrites(t *testing.T) {
+	const rate = 4 << 20
+	const total = 256 << 10
+	inj := New(Config{Seed: 11, Rate: rate, ShortWrite: 0.9})
+	buf := make([]byte, 8<<10)
+	var delivered int64
+	start := time.Now()
+	for delivered < total {
+		a, b := pipePair(inj)
+		go io.Copy(io.Discard, b)
+		for delivered < total {
+			n, err := a.Write(buf)
+			delivered += int64(n)
+			if err != nil {
+				break // connection broken by the fault; "reconnect"
+			}
+		}
+		a.Close()
+		b.Close()
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(delivered) * time.Second / rate
+	if elapsed < want/2 {
+		t.Fatalf("%d bytes cleared a %d B/s wire in %v (floor %v): short-write prefixes not charged", delivered, rate, elapsed, want/2)
+	}
+	if elapsed > 4*want {
+		t.Fatalf("%d bytes took %v on a %d B/s wire (ceiling %v): short-write pacing over-bills", delivered, elapsed, rate, 4*want)
+	}
+}

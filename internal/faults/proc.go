@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Proc is one re-exec'd child process under crash injection. The
+// kill-restart harness (internal/workload) starts the test binary
+// again with an env-gated child entry point, SIGKILLs it mid-stream at
+// a deterministic progress mark, and restarts it against the same
+// journal directory — the process-death analog of the injector's
+// connection faults, equally seed-replayable.
+type Proc struct {
+	cmd *exec.Cmd
+
+	once sync.Once
+	done chan error
+}
+
+// StartProc launches bin with the given extra environment (appended to
+// the parent's), wiring the child's stdout/stderr to the given writers
+// (nil discards). Pass os.Args[0] as bin to re-exec the current test
+// binary.
+func StartProc(bin string, env []string, stdout, stderr io.Writer) (*Proc, error) {
+	cmd := exec.Command(bin)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("faults: start %s: %w", bin, err)
+	}
+	p := &Proc{cmd: cmd, done: make(chan error, 1)}
+	return p, nil
+}
+
+// Pid returns the child's process ID.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Kill delivers an uncatchable SIGKILL — the child gets no chance to
+// flush, close, or say goodbye, exactly the crash the durable journal
+// must absorb. The process must still be reaped with Wait.
+func (p *Proc) Kill() error {
+	return p.cmd.Process.Kill()
+}
+
+// Wait reaps the child and returns its exit status. Safe to call from
+// multiple goroutines; after Kill it returns the signal-death error.
+func (p *Proc) Wait() error {
+	p.once.Do(func() { p.done <- p.cmd.Wait() })
+	err := <-p.done
+	p.done <- err
+	return err
+}

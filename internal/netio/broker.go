@@ -48,6 +48,10 @@ type Broker struct {
 	links      map[*Handle]struct{}
 	pendingTTL time.Duration
 	closed     bool
+	// closedCh is closed by Close so long sleeps (reconnect backoff)
+	// can select against shutdown instead of discovering it on their
+	// next dial attempt.
+	closedCh chan struct{}
 
 	// ins is the active observability bundle; swapped whole by SetObs
 	// so the per-byte hot path is one atomic load.
@@ -93,6 +97,7 @@ func NewBroker(listenAddr string) (*Broker, error) {
 		pending:    make(map[string]pendingConn),
 		links:      make(map[*Handle]struct{}),
 		pendingTTL: rendezvousTimeout,
+		closedCh:   make(chan struct{}),
 		acceptDone: make(chan struct{}),
 	}
 	b.ins.Store(newBrokerInstruments(obs.NewScope()))
@@ -211,6 +216,7 @@ func (b *Broker) Close() error {
 		return nil
 	}
 	b.closed = true
+	close(b.closedCh)
 	pend := b.pending
 	b.pending = map[string]pendingConn{}
 	wait := b.waiting

@@ -296,16 +296,40 @@ type traceMarker interface{ MarkTrace(id uint64) }
 // trial catches monotone runs regardless.
 type shapeSource interface{ ShapeHint() uint32 }
 
+// rewindableSource marks a source that can reposition itself to an
+// absolute logical stream offset — the durable (WAL-journaling)
+// conduit binding. The outbound resync consults it when the receiver's
+// RESUME offset is AHEAD of this incarnation's sendOff: that only
+// happens when the sender process was restarted (a fresh link starts
+// at offset 0) and means the receiver already holds bytes this
+// incarnation has not produced yet. Rewinding the journal-backed
+// source to the receiver's offset turns a kill -9 into a plain
+// partition.
+type rewindableSource interface{ Rewind(off uint64) error }
+
+// ackedSource receives the receiver-confirmed delivered offset as it
+// advances, so a journaling source can truncate acknowledged segments.
+type ackedSource interface{ Acked(off uint64) }
+
+// deliveredSink reports how many logical bytes a sink has already made
+// durable, seeding the inbound link's delivered offset after a restart
+// so its first RESUME announces the journal's end rather than zero.
+type deliveredSink interface{ Delivered() uint64 }
+
 func (b *Broker) newOutbound(h *Handle, src io.ReadCloser, window int, serve bool, addr, token string) *outboundLink {
 	res := b.resilience()
 	w := normWindow(window)
 	tt, _ := src.(traceTaker)
 	ss, _ := src.(shapeSource)
+	rw, _ := src.(rewindableSource)
+	ak, _ := src.(ackedSource)
 	return &outboundLink{
 		h:         h,
 		src:       src,
 		traceSrc:  tt,
 		shapeSrc:  ss,
+		rewindSrc: rw,
+		ackSrc:    ak,
 		comp:      b.compression(),
 		window:    w,
 		frameMax:  normFrameMax(w),
@@ -384,7 +408,7 @@ func (b *Broker) ServeInbound(token string, dst io.WriteCloser) (*Handle, error)
 func (b *Broker) newInbound(h *Handle, dst io.WriteCloser, serve bool, addr, token string) *inboundLink {
 	res := b.resilience()
 	tm, _ := dst.(traceMarker)
-	return &inboundLink{
+	i := &inboundLink{
 		h:         h,
 		dst:       dst,
 		traceDst:  tm,
@@ -394,6 +418,13 @@ func (b *Broker) newInbound(h *Handle, dst io.WriteCloser, serve bool, addr, tok
 		dialAddr:  addr,
 		token:     token,
 	}
+	if ds, ok := dst.(deliveredSink); ok {
+		// A durable sink survived a restart with journaled bytes: the
+		// first RESUME must announce the journal's end, or the sender
+		// would replay bytes the sink already holds.
+		i.delivered = ds.Delivered()
+	}
+	return i
 }
 
 // Redirect arranges the §4.3 writer-side redirection: once src is
@@ -460,6 +491,11 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 		if !time.Now().Before(deadline) {
 			return nil, ErrLinkDeadline
 		}
+		select {
+		case <-b.closedCh:
+			return nil, ErrBrokerClosed
+		default:
+		}
 		conn, err := b.dial(addr, token)
 		if err == nil {
 			return conn, nil
@@ -474,7 +510,16 @@ func (b *Broker) reconnect(res *Resilience, rng *rand.Rand, serve bool, addr, to
 		if time.Now().Add(wait).After(deadline) {
 			return nil, fmt.Errorf("reconnect to %s: %w: %w", addr, ErrLinkDeadline, err)
 		}
-		time.Sleep(wait)
+		// Sleep interruptibly: a broker shutting down mid-backoff (e.g.
+		// during an in-flight RESUME resync) must fail the link fast with
+		// ErrBrokerClosed, not keep dialing until LinkDeadline.
+		t := time.NewTimer(wait)
+		select {
+		case <-b.closedCh:
+			t.Stop()
+			return nil, ErrBrokerClosed
+		case <-t.C:
+		}
 		backoff *= 2
 		if backoff > res.RetryMax && res.RetryMax > 0 {
 			backoff = res.RetryMax
@@ -503,6 +548,10 @@ type outboundLink struct {
 	traceSrc traceTaker
 	// shapeSrc is src's element-shape tap, nil when src carries no hint.
 	shapeSrc shapeSource
+	// rewindSrc/ackSrc are src's durable-journal taps, nil for plain
+	// sources; see rewindableSource/ackedSource.
+	rewindSrc rewindableSource
+	ackSrc    ackedSource
 	// comp enables columnar block compression of DATA payloads; enc is
 	// the run goroutine's reusable encoder scratch.
 	comp bool
@@ -781,7 +830,19 @@ func (o *outboundLink) trimUnacked(off uint64) {
 }
 
 // dropUnacked abandons the replay buffer (stream offsets rebase, e.g.
-// after a MOVING fence) and returns its pooled buffers.
+// after a MOVING fence, or a restart rewind in resync) and returns its
+// pooled buffers.
+//
+// Compression audit: a rebase can land mid-chunk (trimUnacked slices a
+// partially acked chunk, leaving a remainder that may not be
+// 8-aligned), but it can never land mid-BLOCK on the wire. DATA-C
+// blocks are sealed per frame at write time (writeCompressed) and
+// never retained: the replay buffer holds logical bytes, and a
+// replayed or sliced chunk is re-trialed from scratch — a non-aligned
+// remainder simply fails the n%8 gate in writeData and ships raw. The
+// receiver therefore always decodes whole, freshly sealed blocks;
+// resuming decode inside a previously sealed block is structurally
+// impossible. TestRebaseMidChunkCompressedReplay pins this down.
 func (o *outboundLink) dropUnacked() {
 	for i := range o.unacked {
 		o.unacked[i].c.release()
@@ -818,6 +879,9 @@ func (o *outboundLink) handleCtrl(ev ctrlEvent, conn net.Conn) (ctrlOutcome, net
 		if o.res != nil {
 			o.ackOff += uint64(ev.f.ack)
 			o.trimUnacked(o.ackOff)
+			if o.ackSrc != nil {
+				o.ackSrc.Acked(o.ackOff)
+			}
 		}
 		return ctrlContinue, nil
 	case ev.f.kind == frameBeat:
@@ -873,7 +937,6 @@ const (
 )
 
 func (o *outboundLink) run(conn net.Conn) {
-	o.startReader()
 	var outageStart time.Time
 	for {
 		res, next, progressed := o.session(conn)
@@ -934,8 +997,29 @@ func (o *outboundLink) resync(conn net.Conn) bool {
 	if off < o.ackOff {
 		off = o.ackOff // delivered cannot regress; defensive
 	}
+	if off > o.sendOff {
+		// The receiver holds bytes this incarnation never sent: the
+		// sender process was restarted and its journal-backed source is
+		// replaying the stream from offset zero. Skip the source forward
+		// to the receiver's delivered offset and adopt it as our own.
+		// This can only happen on an incarnation's first resync — the
+		// reader goroutine has not started (see session), so no chunk is
+		// staged and the replay buffer is empty.
+		if o.rewindSrc == nil || o.rewindSrc.Rewind(off) != nil {
+			// A plain source cannot skip; the streams have genuinely
+			// diverged (e.g. mismatched journal dir). Fail the session —
+			// the link degrades at LinkDeadline rather than corrupting
+			// the stream.
+			return false
+		}
+		o.dropUnacked()
+		o.sendOff = off
+	}
 	o.ackOff = off
 	o.trimUnacked(off)
+	if o.ackSrc != nil {
+		o.ackSrc.Acked(off)
+	}
 	for _, sc := range o.unacked {
 		if err := o.writeData(conn, sc.c); err != nil {
 			return false
@@ -957,6 +1041,13 @@ func (o *outboundLink) session(conn net.Conn) (sessResult, net.Conn, bool) {
 		}
 		progressed = true
 	}
+	// The reader starts only after the first resync: it prefetches a
+	// chunk the moment it runs, and a restarted sender must Rewind its
+	// journal-backed source to the receiver's offset (resync above)
+	// before anyone reads from it. readerOnce keeps later sessions
+	// cheap, and a rewind can only happen on the first resync, when the
+	// reader provably has not started.
+	o.startReader()
 	ctrl := make(chan ctrlEvent, 16)
 	quit := make(chan struct{})
 	defer close(quit)

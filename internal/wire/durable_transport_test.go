@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dpn/internal/conduit"
+	"dpn/internal/proclib"
+	"dpn/internal/wal"
+)
+
+// TestExportThroughDurableTransport: a node whose transport is swapped
+// to conduit.Durable still completes the Figure-14 move, and the
+// boundary channel's bytes land in a WAL under the journal root. This
+// is the -durable CLI path: SetTransport before any Export/Import.
+func TestExportThroughDurableTransport(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a.SetTransport(conduit.Durable{
+		Inner: a.Transport(),
+		Dir:   dirA,
+		Opt:   wal.Options{SegmentBytes: 8 << 10},
+		Obs:   a.Obs(),
+	})
+	b.SetTransport(conduit.Durable{
+		Inner: b.Transport(),
+		Dir:   dirB,
+		Opt:   wal.Options{SegmentBytes: 8 << 10},
+		Obs:   b.Obs(),
+	})
+
+	ch := a.Net.NewChannel("ab", 64)
+	src := &proclib.SliceSource{Values: seq(50), Out: ch.Writer()}
+	sink := &proclib.Collect{In: ch.Reader()}
+
+	parcel, err := Export(a, b.Broker.Addr(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := Import(b, ship(t, parcel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteSink := findCollect(procs)
+	if remoteSink == nil {
+		t.Fatal("collect did not survive the move")
+	}
+	for _, p := range procs {
+		b.Net.Spawn(p)
+	}
+	a.Net.Spawn(src)
+	waitNet(t, a.Net, "origin network")
+	waitNet(t, b.Net, "remote network")
+	if got := remoteSink.Values(); !reflect.DeepEqual(got, seq(50)) {
+		t.Fatalf("got %v", got)
+	}
+
+	// The sender journaled outbound bytes, the receiver inbound ones.
+	for _, probe := range []struct{ root, side string }{{dirA, "out"}, {dirB, "in"}} {
+		segs, err := filepath.Glob(filepath.Join(probe.root, probe.side, "*", "wal-*.seg"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no WAL segments under %s/%s (err=%v)", probe.root, probe.side, err)
+		}
+		var total int64
+		for _, s := range segs {
+			st, err := os.Stat(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += st.Size()
+		}
+		if total == 0 {
+			t.Fatalf("WAL under %s/%s is empty", probe.root, probe.side)
+		}
+	}
+}

@@ -65,7 +65,7 @@ type Node struct {
 	Net    *core.Network
 	Broker *netio.Broker
 
-	tr conduit.TCP
+	tr conduit.Transport
 
 	mu    sync.Mutex
 	links map[*core.Channel]conduit.Link
@@ -95,6 +95,12 @@ func NewNode(net *core.Network, broker *netio.Broker) *Node {
 // Transport returns the conduit transport this node binds boundary
 // channels through.
 func (n *Node) Transport() conduit.Transport { return n.tr }
+
+// SetTransport swaps the conduit transport future bindings go through
+// — e.g. a conduit.Durable wrapper that journals boundary channels to
+// a WAL. Existing links are unaffected; call it before Export/Import
+// traffic starts.
+func (n *Node) SetTransport(tr conduit.Transport) { n.tr = tr }
 
 // Obs returns the node's unified observability scope.
 func (n *Node) Obs() *obs.Scope { return n.Net.Obs() }

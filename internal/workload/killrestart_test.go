@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMain hosts the kill-restart child: when the driver re-execs this
+// test binary with the child env gate set, ChildMain runs the scenario
+// and exits before any test machinery starts.
+func TestMain(m *testing.M) {
+	ChildMain()
+	os.Exit(m.Run())
+}
+
+// TestScenarioKillRestart is the crash-restart acceptance property:
+// every catalog scenario's merged output stays byte-identical to its
+// oracle when the producing process is SIGKILLed mid-stream (twice)
+// and restarted against the same durable journal.
+func TestScenarioKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-restart matrix in -short mode")
+	}
+	base := workloadSeed(t, 2003)
+	for _, sc := range Catalog(base) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			var st RunStats
+			opt := RunOptions{
+				Pace:  time.Millisecond,
+				KRDir: t.TempDir(),
+				Stats: &st,
+			}
+			if err := Check(sc, base, KillRestart, opt); err != nil {
+				t.Fatalf("replay with WORKLOAD_SEED=%d: %v", base, err)
+			}
+			if len(st.Recoveries) == 0 {
+				t.Fatalf("no kill landed mid-stream; pace the sources harder (replay with WORKLOAD_SEED=%d)", base)
+			}
+			for i, r := range st.Recoveries {
+				t.Logf("recovery %d: %v", i+1, r)
+			}
+		})
+	}
+}

@@ -113,6 +113,16 @@ type RunOptions struct {
 	Timeout time.Duration
 	// Stats, when non-nil, receives measurements from the run.
 	Stats *RunStats
+	// KillAt lists collector progress marks (elements) at which the
+	// KillRestart deployment SIGKILLs and restarts the child; Check
+	// defaults it to a quarter and half of the oracle length.
+	KillAt []int64
+	// KRDir is the WAL root for the KillRestart deployment's durable
+	// conduit (default: a fresh temp dir, removed afterwards).
+	KRDir string
+	// KRCatalog selects the child's scenario lookup table: "" (gate
+	// scale, Catalog) or "bench" (BenchCatalog).
+	KRCatalog string
 }
 
 // RunStats are measurements harvested from a run's origin node.
@@ -122,6 +132,10 @@ type RunStats struct {
 	// network's channels (loopback counts every hop; distributed
 	// deployments count the origin-side hops).
 	Tokens int64
+	// Recoveries, for the KillRestart deployment, records the time from
+	// each child restart to the first element the dead incarnation had
+	// not already delivered.
+	Recoveries []time.Duration
 }
 
 // Run executes the scenario under the given deployment and returns the
@@ -145,6 +159,10 @@ func Run(sc Scenario, seed int64, d Deployment, opt RunOptions) ([]int64, error)
 
 func run(sc Scenario, seed int64, d Deployment, opt RunOptions, timeout time.Duration) ([]int64, *core.Network, error) {
 	switch d {
+	case KillRestart:
+		vals, err := runKillRestart(sc, seed, opt, timeout)
+		return vals, nil, err
+
 	case Loopback:
 		n := core.NewNetwork()
 		g := sc.Build(seed, opt.Pace, n)
@@ -265,6 +283,9 @@ func Check(sc Scenario, seed int64, d Deployment, opt RunOptions) error {
 	want := sc.Oracle(seed)
 	if opt.MigrateAfter <= 0 {
 		opt.MigrateAfter = int64(len(want) / 4)
+	}
+	if d == KillRestart && len(opt.KillAt) == 0 {
+		opt.KillAt = []int64{int64(len(want) / 4), int64(len(want) / 2)}
 	}
 	got, err := Run(sc, seed, d, opt)
 	if err != nil {

@@ -36,6 +36,15 @@
 #                                 tokens/sec of its raw twin on the
 #                                 same emulated wire (the BENCH_pr3
 #                                 raw-wire protocol's ceiling there).
+#   scripts/bench.sh -pr9 [out]   durable-conduit trajectory: elements/
+#                                 sec for the bench-scale stream-int64
+#                                 scenario in-proc vs streamed through
+#                                 a WAL-journaled conduit (fsync
+#                                 batching on), plus SIGKILL recovery
+#                                 times at gate scale, written to
+#                                 BENCH_pr9.json; fails unless the
+#                                 kill-restart run verified and the
+#                                 journaling cost stayed <= 2.5x.
 #
 # Every record is stamped with the go version, GOMAXPROCS, host name,
 # and CPU so trajectory entries are comparable across machines.
@@ -80,6 +89,24 @@ if [ "${1:-}" = "-pr7" ]; then
 		exit 1
 	fi
 	echo "bench: wrote $out ($graphs concurrent soak graphs, $failures failures)"
+	exit 0
+fi
+
+if [ "${1:-}" = "-pr9" ]; then
+	out="${2:-BENCH_pr9.json}"
+	echo "bench: go run ./cmd/dpnbench -pr9 -json > $out"
+	go run ./cmd/dpnbench -pr9 -json > "$out"
+	cost=$(awk -F: '/"durable_over_loopback_cost"/ { gsub(/[ ,]/, "", $2); print $2 + 0 }' "$out")
+	ok=$(awk -F: '/"durable_over_loopback_cost"/ { gsub(/[ ,]/, "", $2); print ($2 + 0 <= 2.5 && $2 + 0 > 0) ? 1 : 0 }' "$out")
+	if [ "${ok:-0}" != "1" ]; then
+		echo "bench: FAIL — durable_over_loopback_cost = ${cost:-none} > 2.5 in $out"
+		exit 1
+	fi
+	if ! grep -q '"killrestart_ok": true' "$out"; then
+		echo "bench: FAIL — kill-restart run did not verify in $out"
+		exit 1
+	fi
+	echo "bench: wrote $out (durable conduit costs ${cost}x loopback, kill-restart verified)"
 	exit 0
 fi
 

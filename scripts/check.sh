@@ -58,6 +58,18 @@
 #                    compressed-link integration tests, plus a short
 #                    native fuzz burst on the block decoder and the
 #                    token decode paths.
+#   check.sh -wal    durability gate: the WAL torture suite (torn
+#                    tails, flipped CRCs, zero-length segments,
+#                    crash-during-truncation recovery) plus a native
+#                    fuzz burst on the record framing, then the
+#                    durable-conduit restart tests and the
+#                    kill-restart scenario matrix (SIGKILL the
+#                    producer twice, byte-identical replay) under
+#                    -race. On failure the logged seed is replayed
+#                    once (WORKLOAD_SEED pins the data): a second
+#                    failure is reproducible — report it with that
+#                    seed — while a replay pass classifies the
+#                    original failure as flaky.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -249,6 +261,46 @@ if [ "${1:-}" = "-codec" ]; then
 	exit "$fail"
 fi
 
+if [ "${1:-}" = "-wal" ]; then
+	fail=0
+	# The journal itself: torture recovery plus a short native fuzz
+	# burst per target (arbitrary segment damage must fail clean; our
+	# own framing must round-trip at every offset).
+	echo "wal gate: go test -race ./internal/wal"
+	go test -race -count=1 -timeout 10m ./internal/wal || fail=1
+	for target in FuzzOpenAfterDamage FuzzRecordFraming; do
+		echo "wal gate: go test -run ^\$ -fuzz $target -fuzztime 5s ./internal/wal"
+		go test -run '^$' -fuzz "$target" -fuzztime 5s ./internal/wal || fail=1
+	done
+	[ "$fail" -eq 0 ] || { echo "wal gate: FAIL"; exit 1; }
+	# The durable plane end to end: journaled bindings surviving
+	# endpoint restarts, the crash-found link regressions, and the
+	# kill-restart scenario matrix (a re-exec'd producer SIGKILLed
+	# twice mid-stream, output byte-identical to the oracle).
+	pat='(Durable|KillRestart|JournalDir|RebaseMidChunkCompressedReplay|BrokerCloseInterruptsReconnectBackoff|RateChargesOnlyWrittenBytes)'
+	log=$(mktemp)
+	trap 'rm -f "$log"' EXIT
+	echo "wal gate: go test -race -run '$pat' -count=1 ./..."
+	if go test -race -run "$pat" -count=1 -timeout 15m ./... 2>&1 | tee "$log"; then
+		echo "wal gate: PASS"
+		exit 0
+	fi
+	seed=$(grep -Eo 'workload seed -?[0-9]+' "$log" | tail -n 1 | grep -Eo '\-?[0-9]+' || true)
+	if [ -z "$seed" ]; then
+		echo "wal gate: FAIL (no 'workload seed N' line logged; not replayable)"
+		exit 1
+	fi
+	pkgs=$(grep -E '^(FAIL|---[ ]FAIL)' "$log" | grep -Eo '\bdpn/[a-z/]+' | sort -u || true)
+	[ -n "$pkgs" ] || pkgs=./...
+	echo "wal gate: FAIL — replaying with WORKLOAD_SEED=$seed: $pkgs"
+	if WORKLOAD_SEED="$seed" go test -race -run "$pat" -count=1 $pkgs; then
+		echo "wal gate: FLAKY (seed $seed passed on replay; original failure did not reproduce)"
+		exit 1
+	fi
+	echo "wal gate: REPRODUCIBLE — rerun with WORKLOAD_SEED=$seed to debug"
+	exit 1
+fi
+
 if [ "${1:-}" = "-pool" ]; then
 	pat='(Pool|Elastic|StaggeredClose|TornBlock|DeadLane|GatherAllClosed|GatherCorrupt|DirectBadIndex|WorkerKilled|BatchedRead|BatchedFloat)'
 	echo "pool gate: go test -race -run '$pat' -count=1 ./..."
@@ -267,5 +319,6 @@ go test -race ./...
 set +x
 ./scripts/check.sh -pool
 ./scripts/check.sh -codec
+./scripts/check.sh -wal
 ./scripts/check.sh -chaos
 ./scripts/check.sh -scenarios
