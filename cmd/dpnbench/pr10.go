@@ -1,0 +1,253 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"dpn/internal/stream"
+	"dpn/internal/wire"
+)
+
+// pr10Report is the machine-readable record of the session-multiplexing
+// trajectory (BENCH_pr10.json): what one shared authenticated session
+// per peer pair costs on the hot path, what it saves in sockets, and
+// how the handshake amortizes across the links that ride it.
+// scripts/bench.sh -pr10 asserts on it.
+type pr10Report struct {
+	benchEnv
+	PayloadBytes int `json:"payload_bytes"`
+	WriteBytes   int `json:"write_bytes"`
+	// Bulk throughput of one link, direct TCP vs tunneled through a mux
+	// virtual stream. Their ratio is the gated parity cost (≤ 1.15).
+	DirectMBPerSec    float64 `json:"direct_mb_per_sec"`
+	MuxMBPerSec       float64 `json:"mux_mb_per_sec"`
+	MuxOverDirectCost float64 `json:"mux_over_direct_cost"`
+	// Socket economics: channels bound between one peer pair, and the
+	// TCP sessions actually holding them (gated to exactly 1).
+	ChannelsPerPair int   `json:"channels_per_pair"`
+	SocketsPerPair  int64 `json:"sockets_per_pair"`
+	// Handshake amortization: wall time to bring up the pair's first
+	// link (TCP dial + X25519/PSK session handshake + rendezvous)
+	// against the mean for later links (stream open + rendezvous).
+	FirstLinkMicros float64 `json:"first_link_micros"`
+	NextLinkMicros  float64 `json:"next_link_micros"`
+	AmortizationX   float64 `json:"amortization_x"`
+}
+
+// muxBenchPair builds two local nodes, optionally mux-enabled.
+func muxBenchPair(mux bool) (*wire.Node, *wire.Node, error) {
+	a, err := wire.NewLocalNode("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := wire.NewLocalNode("127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		return nil, nil, err
+	}
+	if mux {
+		a.Broker.EnableMux(nil)
+		b.Broker.EnableMux(nil)
+	}
+	return a, b, nil
+}
+
+// pumpLink measures one bulk transfer: total bytes through a single
+// link between a fresh pair in writeSize chunks, returning MB/s.
+func pumpLink(mux bool, total, writeSize int) (float64, error) {
+	a, b, err := muxBenchPair(mux)
+	if err != nil {
+		return 0, err
+	}
+	defer a.Close()
+	defer b.Close()
+	src := stream.NewPipe(1 << 16)
+	dst := stream.NewPipe(1 << 16)
+	tok := a.Broker.NewToken()
+	if _, err := a.Broker.ServeOutbound(tok, src.ReadEnd(), 0); err != nil {
+		return 0, err
+	}
+	h, err := b.Broker.DialInbound(a.Broker.Addr(), tok, dst.WriteEnd())
+	if err != nil {
+		return 0, err
+	}
+	if err := h.WaitReady(); err != nil {
+		return 0, err
+	}
+	done := make(chan error, 1)
+	go func() {
+		n, err := io.Copy(io.Discard, dst.ReadEnd())
+		if err == nil && n != int64(total) {
+			err = fmt.Errorf("drained %d bytes, want %d", n, total)
+		}
+		done <- err
+	}()
+	payload := make([]byte, writeSize)
+	start := time.Now()
+	for sent := 0; sent < total; sent += writeSize {
+		if _, err := src.Write(payload); err != nil {
+			return 0, err
+		}
+	}
+	src.CloseWrite()
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(total) / elapsed / 1e6, nil
+}
+
+// bindTimedLink opens one serve/dial link between the pair and returns
+// the dial-side setup time (rendezvous complete, link ready).
+func bindTimedLink(a, b *wire.Node) (time.Duration, func(), error) {
+	src := stream.NewPipe(1 << 12)
+	dst := stream.NewPipe(1 << 12)
+	tok := a.Broker.NewToken()
+	if _, err := a.Broker.ServeOutbound(tok, src.ReadEnd(), 0); err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	h, err := b.Broker.DialInbound(a.Broker.Addr(), tok, dst.WriteEnd())
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := h.WaitReady(); err != nil {
+		return 0, nil, err
+	}
+	elapsed := time.Since(start)
+	cleanup := func() {
+		src.CloseWrite()
+		io.Copy(io.Discard, dst.ReadEnd())
+	}
+	return elapsed, cleanup, nil
+}
+
+// runPR10 measures the session-multiplexing trajectory.
+func runPR10(jsonOut bool) {
+	const (
+		totalBytes = 256 << 20
+		writeSize  = 32 << 10
+		channels   = 16
+		amortLinks = 32
+	)
+	rep := pr10Report{
+		benchEnv:        currentEnv(),
+		PayloadBytes:    totalBytes,
+		WriteBytes:      writeSize,
+		ChannelsPerPair: channels,
+	}
+
+	// Bulk parity: best of three runs each, alternating, so a scheduler
+	// hiccup on one run does not decide the gate.
+	best := func(mux bool) (float64, error) {
+		var top float64
+		for i := 0; i < 3; i++ {
+			mbs, err := pumpLink(mux, totalBytes, writeSize)
+			if err != nil {
+				return 0, err
+			}
+			if mbs > top {
+				top = mbs
+			}
+		}
+		return top, nil
+	}
+	direct, err := best(false)
+	if err != nil {
+		fatal(fmt.Errorf("direct link bench: %w", err))
+	}
+	muxed, err := best(true)
+	if err != nil {
+		fatal(fmt.Errorf("mux link bench: %w", err))
+	}
+	rep.DirectMBPerSec = direct
+	rep.MuxMBPerSec = muxed
+	if muxed > 0 {
+		rep.MuxOverDirectCost = direct / muxed
+	}
+
+	// Socket economics: many concurrent channels between one pair must
+	// ride one session.
+	{
+		a, b, err := muxBenchPair(true)
+		if err != nil {
+			fatal(err)
+		}
+		var wg sync.WaitGroup
+		cleanups := make([]func(), channels)
+		errs := make([]error, channels)
+		for i := 0; i < channels; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, cl, err := bindTimedLink(a, b)
+				cleanups[i], errs[i] = cl, err
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				fatal(fmt.Errorf("channel fan-out: %w", err))
+			}
+		}
+		rep.SocketsPerPair = b.Broker.MuxSessions()
+		for _, cl := range cleanups {
+			cl()
+		}
+		a.Close()
+		b.Close()
+	}
+
+	// Handshake amortization: the pair's first link pays TCP dial plus
+	// the authenticated session handshake; every later link is a stream
+	// open on the warm session.
+	{
+		a, b, err := muxBenchPair(true)
+		if err != nil {
+			fatal(err)
+		}
+		first, cl, err := bindTimedLink(a, b)
+		if err != nil {
+			fatal(fmt.Errorf("first link: %w", err))
+		}
+		defer cl()
+		rep.FirstLinkMicros = float64(first.Microseconds())
+		var total time.Duration
+		for i := 0; i < amortLinks; i++ {
+			d, cl, err := bindTimedLink(a, b)
+			if err != nil {
+				fatal(fmt.Errorf("warm link %d: %w", i, err))
+			}
+			cl()
+			total += d
+		}
+		next := total / amortLinks
+		rep.NextLinkMicros = float64(next.Microseconds())
+		if next > 0 {
+			rep.AmortizationX = float64(first) / float64(next)
+		}
+		a.Close()
+		b.Close()
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("Session multiplexing trajectory (%d MB bulk, %d KiB writes)\n",
+		totalBytes>>20, writeSize>>10)
+	fmt.Printf("  direct %8.1f MB/s   mux %8.1f MB/s   cost %.3fx\n",
+		rep.DirectMBPerSec, rep.MuxMBPerSec, rep.MuxOverDirectCost)
+	fmt.Printf("  %d channels between one pair over %d session(s)\n",
+		rep.ChannelsPerPair, rep.SocketsPerPair)
+	fmt.Printf("  first link %7.0f us   warm link %7.0f us   handshake amortizes %.1fx\n",
+		rep.FirstLinkMicros, rep.NextLinkMicros, rep.AmortizationX)
+}

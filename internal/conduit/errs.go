@@ -6,6 +6,7 @@ import (
 
 	"dpn/internal/faults"
 	"dpn/internal/netio"
+	"dpn/internal/netio/mux"
 	"dpn/internal/stream"
 )
 
@@ -43,6 +44,31 @@ var (
 	// ErrLinkDeadline reports an outage that outlasted the link's
 	// resilience window; the link degraded into a cascading close.
 	ErrLinkDeadline = netio.ErrLinkDeadline
+	// ErrTokenInUse reports a rendezvous token registered twice on one
+	// broker.
+	ErrTokenInUse = netio.ErrTokenInUse
+	// ErrWrongDirection reports a direction-specific link operation
+	// (Redirect, Move) invoked on the wrong half.
+	ErrWrongDirection = netio.ErrWrongDirection
+	// ErrNotConnected reports a link control operation attempted while
+	// the link was between connections.
+	ErrNotConnected = netio.ErrNotConnected
+)
+
+// Session-multiplexing states (origin: netio/mux). A mux session is the
+// shared authenticated connection a peer pair runs all its links over;
+// these surface through any conduit bound via the Mux transport.
+var (
+	// ErrSessionClosed reports an operation on (or a stream orphaned
+	// by) a deliberately closed mux session.
+	ErrSessionClosed = mux.ErrSessionClosed
+	// ErrAuthFailed reports a mux handshake rejected by the pre-shared-
+	// key challenge/response peer authentication.
+	ErrAuthFailed = mux.ErrAuthFailed
+	// ErrStreamLimit reports a session at its virtual-stream capacity.
+	ErrStreamLimit = mux.ErrStreamLimit
+	// ErrStreamReset reports a virtual stream aborted by the peer.
+	ErrStreamReset = mux.ErrStreamReset
 )
 
 // ErrInjected marks failures manufactured by the fault-injection
@@ -75,5 +101,8 @@ func IsDegrade(err error) bool {
 		errors.Is(err, ErrBrokerClosed) ||
 		errors.Is(err, ErrRendezvousTimeout) ||
 		errors.Is(err, ErrBadFrame) ||
+		errors.Is(err, ErrSessionClosed) ||
+		errors.Is(err, ErrAuthFailed) ||
+		errors.Is(err, ErrStreamReset) ||
 		errors.Is(err, ErrInjected))
 }

@@ -137,6 +137,29 @@ func (l tcpLink) OnRearm(fn func(Link)) {
 	l.h.SetRearmHook(func(nh *netio.Handle) { fn(tcpLink{nh}) })
 }
 
+// Mux is the TCP transport with session multiplexing enabled on the
+// broker: every link between this node and a given peer tunnels as a
+// virtual stream over one long-lived, authenticated connection instead
+// of a dedicated socket per channel. The link protocol — and with it
+// resilience, RESUME resync, block compression, and durable WAL
+// journaling — rides each stream unchanged, so Mux composes with
+// Durable and Chaos exactly as TCP does.
+type Mux struct {
+	TCP
+}
+
+// NewMux enables session multiplexing on b with the given cluster
+// pre-shared key (nil skips peer authentication) and returns the
+// transport. Enable mux on every broker of the graph: a mux dialer
+// needs a mux-aware acceptor, though a mux acceptor still admits
+// legacy per-channel dialers.
+func NewMux(b *netio.Broker, psk []byte) Mux {
+	b.EnableMux(psk)
+	return Mux{TCP: TCP{Broker: b}}
+}
+
+func (m Mux) String() string { return "mux" }
+
 // Chaos is the TCP transport with a fault injector installed on the
 // broker: every future connection, inbound and outbound, runs under
 // injected dial errors, resets, partitions, and delays. It exists so

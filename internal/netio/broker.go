@@ -3,12 +3,14 @@ package netio
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dpn/internal/faults"
+	"dpn/internal/netio/mux"
 	"dpn/internal/obs"
 )
 
@@ -23,6 +25,13 @@ var ErrBrokerClosed = errors.New("netio: broker closed")
 // presented its token within the rendezvous window. Part of the
 // consolidated sentinel set in internal/conduit/errs.go.
 var ErrRendezvousTimeout = errors.New("netio: rendezvous timed out")
+
+// ErrTokenInUse is returned when a rendezvous token is registered while
+// an earlier registration for the same token is still pending — a
+// wiring bug (two channel ends claiming one token), never a transient
+// condition. Part of the consolidated sentinel set in
+// internal/conduit/errs.go.
+var ErrTokenInUse = errors.New("netio: rendezvous token already registered")
 
 // waiter is one registered rendezvous: fire receives the matched
 // connection; cancel (optional) is invoked if the broker shuts down
@@ -74,6 +83,16 @@ type Broker struct {
 	// (every inbound side always accepts both DATA kinds).
 	cmpOff atomic.Bool
 
+	// muxSt enables session multiplexing (nil = legacy one-conn-per-
+	// channel); the pool below keys live sessions by peer broker
+	// address. See muxpool.go.
+	muxSt           atomic.Pointer[muxState]
+	muxMu           sync.Mutex
+	muxSess         map[string]*muxEntry
+	muxAll          map[*mux.Session]struct{}
+	muxLiveSessions atomic.Int64
+	muxLiveStreams  atomic.Int64
+
 	acceptDone chan struct{}
 }
 
@@ -96,6 +115,8 @@ func NewBroker(listenAddr string) (*Broker, error) {
 		waiting:    make(map[string]waiter),
 		pending:    make(map[string]pendingConn),
 		links:      make(map[*Handle]struct{}),
+		muxSess:    make(map[string]*muxEntry),
+		muxAll:     make(map[*mux.Session]struct{}),
 		pendingTTL: rendezvousTimeout,
 		closedCh:   make(chan struct{}),
 		acceptDone: make(chan struct{}),
@@ -234,6 +255,9 @@ func (b *Broker) Close() error {
 			w.cancel(ErrBrokerClosed)
 		}
 	}
+	// Mux sessions are this broker's sockets toward its peers; closing
+	// them is what returns the per-pair FDs to the OS.
+	b.closeMuxSessions()
 	<-b.acceptDone
 	return err
 }
@@ -249,11 +273,35 @@ func (b *Broker) acceptLoop() {
 	}
 }
 
-// handleConn reads the HELLO frame and delivers the connection to the
-// channel end waiting for its token, or parks it until that end
-// registers (a dial can win the race against the registration that a
-// redirect triggers on a third node).
+// handleConn routes one inbound connection. With mux enabled the first
+// byte dispatches: mux.Magic starts a session handshake, anything else
+// is the opening byte of a legacy per-channel HELLO, replayed ahead of
+// the conn so mixed fleets (mux and legacy dialers) coexist on one
+// listener.
 func (b *Broker) handleConn(conn net.Conn) {
+	if b.MuxEnabled() {
+		conn.SetReadDeadline(time.Now().Add(handshakeTimeout()))
+		var first [1]byte
+		if _, err := io.ReadFull(conn, first[:]); err != nil {
+			conn.Close()
+			return
+		}
+		if first[0] == mux.Magic {
+			b.handleMuxConn(conn)
+			return
+		}
+		conn = &prefixConn{Conn: conn, prefix: first[:]}
+	}
+	b.handleChannelConn(conn)
+}
+
+// handleChannelConn reads the HELLO frame and delivers the connection
+// to the channel end waiting for its token, or parks it until that end
+// registers (a dial can win the race against the registration that a
+// redirect triggers on a third node). conn is a dedicated TCP
+// connection on the legacy path, a mux virtual stream otherwise — the
+// rendezvous protocol is identical.
+func (b *Broker) handleChannelConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(handshakeTimeout()))
 	f, err := readFrame(conn)
 	if err != nil || f.kind != frameHello {
@@ -310,7 +358,7 @@ func (b *Broker) expectCancelable(token string, h func(net.Conn, string), cancel
 	}
 	if _, dup := b.waiting[token]; dup {
 		b.mu.Unlock()
-		return fmt.Errorf("netio: token %q already registered", token)
+		return fmt.Errorf("%w: %q", ErrTokenInUse, token)
 	}
 	b.waiting[token] = waiter{fire: h, cancel: cancel}
 	b.mu.Unlock()
@@ -378,18 +426,30 @@ func (b *Broker) expectWithin(token string, d time.Duration) (net.Conn, string, 
 }
 
 // dial opens a connection to a peer broker and sends the HELLO frame.
-// The HELLO write is deadline-bounded so a black-holed peer cannot
-// block link setup indefinitely.
+// With mux enabled the "connection" is a virtual stream over the
+// pooled per-peer session (the injector already wraps the session's
+// conn, so the stream is not wrapped again); otherwise it is a
+// dedicated TCP connection. The HELLO write is deadline-bounded so a
+// black-holed peer cannot block link setup indefinitely.
 func (b *Broker) dial(addr, token string) (net.Conn, error) {
 	inj := b.injector()
 	if err := inj.DialError(); err != nil {
 		return nil, err
 	}
-	raw, err := net.DialTimeout("tcp", addr, handshakeTimeout())
-	if err != nil {
-		return nil, err
+	var conn net.Conn
+	if b.MuxEnabled() {
+		st, err := b.muxStream(addr)
+		if err != nil {
+			return nil, err
+		}
+		conn = st
+	} else {
+		raw, err := net.DialTimeout("tcp", addr, handshakeTimeout())
+		if err != nil {
+			return nil, err
+		}
+		conn = inj.Conn(raw)
 	}
-	conn := inj.Conn(raw)
 	helloTimeout := handshakeTimeout()
 	if res := b.resilience(); res != nil && res.MissDeadline > 0 {
 		helloTimeout = res.MissDeadline

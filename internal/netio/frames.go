@@ -70,7 +70,7 @@ func encodeFrame(dst []byte, f frame) ([]byte, error) {
 	switch f.kind {
 	case frameData, frameDataC:
 		if len(f.payload) > maxFramePayload {
-			return nil, fmt.Errorf("netio: frame payload %d too large", len(f.payload))
+			return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrBadFrame, len(f.payload), maxFramePayload)
 		}
 		return binary.BigEndian.AppendUint32(dst, uint32(len(f.payload))), nil
 	case frameEOF, frameCloseRead, frameFence, frameBeat, frameBye:
@@ -85,7 +85,7 @@ func encodeFrame(dst []byte, f frame) ([]byte, error) {
 		dst = appendString(dst, f.token)
 		return appendString(dst, f.addr), nil
 	default:
-		return nil, fmt.Errorf("netio: unknown frame kind %q", f.kind)
+		return nil, fmt.Errorf("%w: unknown frame kind %q", ErrBadFrame, f.kind)
 	}
 }
 

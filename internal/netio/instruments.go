@@ -55,6 +55,13 @@ type brokerInstruments struct {
 	heartbeatMiss   *obs.Counter
 	partitionHeal   *obs.Counter
 	linkFailures    *obs.Counter
+	muxSessDial     *obs.Counter
+	muxSessAccept   *obs.Counter
+	muxSessionsLive *obs.Gauge
+	muxStreamsLive  *obs.Gauge
+	muxStreamsPer   *obs.Gauge
+	muxCreditStalls *obs.Counter
+	muxAuthFail     *obs.Counter
 	tracer          *obs.Tracer
 }
 
@@ -73,6 +80,12 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 	reg.Help("dpn_conduit_link_heartbeat_miss_total", "Bounded link reads that timed out waiting for the peer.")
 	reg.Help("dpn_conduit_link_partition_heal_total", "Successful link reconnects after an outage.")
 	reg.Help("dpn_conduit_link_failures_total", "Links that exhausted their outage deadline and degraded.")
+	reg.Help("dpn_mux_sessions_total", "Authenticated mux sessions established, by role (dial|accept).")
+	reg.Help("dpn_mux_sessions_live", "Mux sessions currently open (one per connected peer pair).")
+	reg.Help("dpn_mux_streams_live", "Virtual streams currently open across all mux sessions.")
+	reg.Help("dpn_mux_streams_per_session", "Live virtual streams per live mux session (the multiplexing factor).")
+	reg.Help("dpn_mux_credit_stalls_total", "Times a mux stream write waited for per-stream credit.")
+	reg.Help("dpn_mux_auth_failures_total", "Mux session handshakes rejected by peer authentication.")
 	// The link plane is the transport half of the conduit layer, so its
 	// canonical metric names live under dpn_conduit_link_*; the pre-PR5
 	// dpn_link_* names stay visible as exposition-time aliases.
@@ -102,6 +115,13 @@ func newBrokerInstruments(s *obs.Scope) *brokerInstruments {
 		heartbeatMiss:   reg.Counter("dpn_conduit_link_heartbeat_miss_total"),
 		partitionHeal:   reg.Counter("dpn_conduit_link_partition_heal_total"),
 		linkFailures:    reg.Counter("dpn_conduit_link_failures_total"),
+		muxSessDial:     reg.Counter("dpn_mux_sessions_total", obs.L("role", "dial")),
+		muxSessAccept:   reg.Counter("dpn_mux_sessions_total", obs.L("role", "accept")),
+		muxSessionsLive: reg.Gauge("dpn_mux_sessions_live"),
+		muxStreamsLive:  reg.Gauge("dpn_mux_streams_live"),
+		muxStreamsPer:   reg.Gauge("dpn_mux_streams_per_session"),
+		muxCreditStalls: reg.Counter("dpn_mux_credit_stalls_total"),
+		muxAuthFail:     reg.Counter("dpn_mux_auth_failures_total"),
 		tracer:          s.Tracer(),
 	}
 	for _, fk := range frameKinds {
@@ -216,6 +236,18 @@ func (b *Broker) noteSpan(subject, detail string, traceID uint64) {
 // noteCreditStall counts one flow-control wait on an outbound link.
 func (b *Broker) noteCreditStall() {
 	b.ins.Load().creditStalls.Inc()
+}
+
+// noteMuxStreams refreshes the live-stream gauge and the multiplexing
+// factor (streams per live session) from the broker's atomics.
+func (b *Broker) noteMuxStreams(streams int64) {
+	ins := b.ins.Load()
+	ins.muxStreamsLive.Set(streams)
+	if sessions := b.muxLiveSessions.Load(); sessions > 0 {
+		ins.muxStreamsPer.Set(streams / sessions)
+	} else {
+		ins.muxStreamsPer.Set(0)
+	}
 }
 
 // noteCoalesced counts one queued data chunk merged into the frame

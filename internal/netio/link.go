@@ -74,6 +74,23 @@ const rendezvousTimeout = 60 * time.Second
 // the consolidated sentinel set in internal/conduit/errs.go.
 var ErrLinkDeadline = errors.New("netio: link deadline exceeded")
 
+// ErrWrongDirection is returned when a direction-specific operation is
+// invoked on the wrong link half (Redirect on an inbound link, Move on
+// an outbound one) — an API-misuse condition, never transient. Part of
+// the consolidated sentinel set in internal/conduit/errs.go.
+var ErrWrongDirection = errors.New("netio: operation requires the other link direction")
+
+// ErrNotConnected is returned by control operations that need a live
+// connection while the link is between connections (during an outage,
+// or before rendezvous completed). Part of the consolidated sentinel
+// set in internal/conduit/errs.go.
+var ErrNotConnected = errors.New("netio: link not connected")
+
+// errLinkFailed terminates a legacy (non-resilient) session that died
+// without a more specific cause; defined once so the terminal error of
+// that path is errors.Is-comparable instead of freshly minted.
+var errLinkFailed = errors.New("netio: link failed")
+
 // Resilience configures fault tolerance for every link of a broker.
 // With resilience enabled, both link halves heartbeat each other while
 // idle, bound every network operation with MissDeadline, and treat a
@@ -435,7 +452,7 @@ func (b *Broker) newInbound(h *Handle, dst io.WriteCloser, serve bool, addr, tok
 // host's broker address for the migration descriptor.
 func (h *Handle) Redirect(token string) (peerAddr string, err error) {
 	if !h.outbound {
-		return "", errors.New("netio: Redirect requires an outbound link")
+		return "", fmt.Errorf("%w: Redirect requires an outbound link", ErrWrongDirection)
 	}
 	if err := h.WaitReady(); err != nil {
 		return "", err
@@ -452,7 +469,7 @@ func (h *Handle) Redirect(token string) (peerAddr string, err error) {
 // be delivered to the new host.
 func (h *Handle) Move(addr, token string) error {
 	if h.outbound {
-		return errors.New("netio: Move requires an inbound link")
+		return fmt.Errorf("%w: Move requires an inbound link", ErrWrongDirection)
 	}
 	if err := h.WaitReady(); err != nil {
 		return err
@@ -953,7 +970,7 @@ func (o *outboundLink) run(conn net.Conn) {
 			if o.res == nil {
 				// Legacy sessions finish before failing; defensive only.
 				o.src.Close()
-				o.h.finish(errors.New("netio: link failed"))
+				o.h.finish(errLinkFailed)
 				return
 			}
 			if outageStart.IsZero() {
@@ -1297,7 +1314,7 @@ func (i *inboundLink) sendMoving(addr, token string) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.conn == nil {
-		return errors.New("netio: link not connected")
+		return ErrNotConnected
 	}
 	i.moving = true
 	err := writeFrame(i.conn, frame{kind: frameMoving, token: token, addr: addr})

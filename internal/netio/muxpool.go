@@ -1,0 +1,338 @@
+package netio
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"dpn/internal/netio/mux"
+)
+
+// This file is the broker's mux session pool: one authenticated,
+// long-lived connection per peer pair, carrying every channel link
+// between the pair as a virtual stream.
+//
+// The layering is deliberately transparent. A mux stream is a full
+// net.Conn, so the existing link protocol — HELLO rendezvous, DATA/
+// DATA-C, ACK credit, RESUME resync, BEAT, TRACE, BYE, REDIRECT —
+// tunnels through it unchanged: dial() opens a stream instead of a TCP
+// connection and writes the same HELLO; the accept path peels streams
+// off inbound sessions and feeds them to the same rendezvous matcher.
+// Resilience composes too: when a session dies, its streams fail like
+// broken conns, resilient links re-dial, the pool builds (or reuses) a
+// fresh session, and the RESUME offset handshake replays whatever the
+// outage swallowed — durable WAL journaling and block compression ride
+// per-stream and never notice the session boundary.
+//
+// Sessions are pooled under the peer broker's *announced* listen
+// address, and both the dialing and the accepting side register them,
+// so whichever side later needs a link toward the other reuses the one
+// connection instead of opening a second: a connected peer pair holds
+// exactly one TCP socket no matter how many channels run between them,
+// which is the point (§4.2's per-stream server sockets, inverted).
+
+// muxState holds the broker's mux enablement and its cluster PSK.
+type muxState struct {
+	psk []byte
+}
+
+// muxEntry is one pooled session, or one in-flight attempt to build
+// it. ready is closed once sess/err settle, so concurrent dials to the
+// same peer coalesce onto a single handshake.
+type muxEntry struct {
+	ready chan struct{}
+	sess  *mux.Session
+	err   error
+}
+
+// EnableMux switches this broker to session multiplexing: every future
+// outbound link tunnels through a pooled per-peer session, and inbound
+// mux handshakes (first byte mux.Magic) are accepted alongside legacy
+// per-channel connections. psk is the cluster pre-shared key for the
+// challenge/response peer authentication; nil accepts any peer that
+// speaks the protocol. Enable it on every broker of a graph — a mux
+// dialer needs a mux-aware acceptor.
+func (b *Broker) EnableMux(psk []byte) {
+	b.muxSt.Store(&muxState{psk: psk})
+}
+
+// MuxEnabled reports whether this broker multiplexes links.
+func (b *Broker) MuxEnabled() bool { return b.muxSt.Load() != nil }
+
+// MuxSessions reports the number of live mux sessions this broker
+// holds (the dpn_mux_sessions_live gauge).
+func (b *Broker) MuxSessions() int64 { return b.muxLiveSessions.Load() }
+
+// MuxStreams reports the number of live virtual streams across all
+// sessions (the dpn_mux_streams_live gauge).
+func (b *Broker) MuxStreams() int64 { return b.muxLiveStreams.Load() }
+
+// muxConfig assembles the session config: the broker's listen address
+// as its announced identity and metric hooks into the active bundle.
+func (b *Broker) muxConfig() mux.Config {
+	st := b.muxSt.Load()
+	var psk []byte
+	if st != nil {
+		psk = st.psk
+	}
+	return mux.Config{
+		PSK:  psk,
+		Addr: b.addr,
+		Hooks: mux.Hooks{
+			StreamOpened: func() { b.noteMuxStreams(b.muxLiveStreams.Add(1)) },
+			StreamClosed: func() { b.noteMuxStreams(b.muxLiveStreams.Add(-1)) },
+			CreditStall:  func() { b.ins.Load().muxCreditStalls.Inc() },
+		},
+	}
+}
+
+// muxStream opens one virtual stream toward the peer broker at addr,
+// building or reusing the pooled session.
+func (b *Broker) muxStream(addr string) (net.Conn, error) {
+	for {
+		sess, err := b.muxSession(addr)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sess.OpenStream()
+		if err == nil {
+			return st, nil
+		}
+		if errors.Is(err, mux.ErrStreamLimit) {
+			return nil, err
+		}
+		// The pooled session died between lookup and open; drop it and
+		// build a fresh one.
+		b.muxForget(addr, sess)
+	}
+}
+
+// muxSession returns the pooled session for addr, dialing and
+// handshaking one if none exists. Concurrent callers coalesce: one
+// dials, the rest wait on the entry and share the outcome.
+func (b *Broker) muxSession(addr string) (*mux.Session, error) {
+	for {
+		select {
+		case <-b.closedCh:
+			return nil, ErrBrokerClosed
+		default:
+		}
+		b.muxMu.Lock()
+		e, ok := b.muxSess[addr]
+		if !ok {
+			e = &muxEntry{ready: make(chan struct{})}
+			b.muxSess[addr] = e
+			b.muxMu.Unlock()
+			sess, err := b.dialMuxSession(addr)
+			// Settle the entry under the pool lock: muxForget compares
+			// e.sess without waiting on ready, so the fields must never
+			// be written outside it.
+			b.muxMu.Lock()
+			e.sess, e.err = sess, err
+			if err != nil && b.muxSess[addr] == e {
+				delete(b.muxSess, addr)
+			}
+			b.muxMu.Unlock()
+			if err == nil {
+				b.watchPooled(addr, sess)
+			}
+			close(e.ready)
+			return sess, err
+		}
+		b.muxMu.Unlock()
+		select {
+		case <-e.ready:
+		case <-b.closedCh:
+			return nil, ErrBrokerClosed
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		select {
+		case <-e.sess.Done():
+			// Stale entry from a dead session; retire it and retry.
+			b.muxForget(addr, e.sess)
+			continue
+		default:
+			return e.sess, nil
+		}
+	}
+}
+
+// muxForget drops the pool entry for addr if it still points at sess.
+func (b *Broker) muxForget(addr string, sess *mux.Session) {
+	b.muxMu.Lock()
+	if e, ok := b.muxSess[addr]; ok && e.sess == sess {
+		delete(b.muxSess, addr)
+	}
+	b.muxMu.Unlock()
+}
+
+// watchPooled retires the pool entry when its session dies, so the
+// next dial builds a fresh one instead of opening streams into a
+// corpse.
+func (b *Broker) watchPooled(addr string, sess *mux.Session) {
+	go func() {
+		<-sess.Done()
+		b.muxForget(addr, sess)
+	}()
+}
+
+// dialMuxSession opens the TCP connection, wraps it in the fault
+// injector ONCE (every stream inherits the chaos), and runs the
+// dialer half of the authenticated handshake.
+func (b *Broker) dialMuxSession(addr string) (*mux.Session, error) {
+	raw, err := net.DialTimeout("tcp", addr, handshakeTimeout())
+	if err != nil {
+		return nil, err
+	}
+	conn := b.injector().Conn(raw)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout()))
+	sess, err := mux.Dial(conn, b.muxConfig())
+	if err != nil {
+		if errors.Is(err, mux.ErrAuthFailed) {
+			b.ins.Load().muxAuthFail.Inc()
+		}
+		return nil, err
+	}
+	b.trackSession(sess, "dial")
+	go b.serveMuxSession(sess)
+	return sess, nil
+}
+
+// handleMuxConn runs the accept half of the session handshake on an
+// inbound connection whose mux.Magic byte the accept path consumed,
+// then serves its streams and pools it under the peer's announced
+// address so outbound links reuse it symmetrically.
+func (b *Broker) handleMuxConn(conn net.Conn) {
+	sess, err := mux.Accept(conn, b.muxConfig())
+	if err != nil {
+		if errors.Is(err, mux.ErrAuthFailed) {
+			b.ins.Load().muxAuthFail.Inc()
+		}
+		return
+	}
+	b.trackSession(sess, "accept")
+	b.adoptSession(sess)
+	b.serveMuxSession(sess)
+}
+
+// adoptSession offers an accepted session to the pool under the peer's
+// announced address. An existing live entry wins — simultaneous dials
+// from both sides may briefly yield two sessions for a pair, and the
+// pool just keeps using whichever it already has.
+func (b *Broker) adoptSession(sess *mux.Session) {
+	addr := sess.PeerAddr()
+	if addr == "" {
+		return
+	}
+	b.muxMu.Lock()
+	usable := false
+	if e, exists := b.muxSess[addr]; exists {
+		usable = true
+		if e.sess != nil {
+			select {
+			case <-e.sess.Done():
+				usable = false // dead entry its watcher hasn't retired yet
+			default:
+			}
+		}
+	}
+	if !usable {
+		e := &muxEntry{ready: make(chan struct{}), sess: sess}
+		close(e.ready)
+		b.muxSess[addr] = e
+		b.muxMu.Unlock()
+		b.watchPooled(addr, sess)
+		return
+	}
+	b.muxMu.Unlock()
+}
+
+// trackSession records the session for Close teardown and feeds the
+// session metrics.
+func (b *Broker) trackSession(sess *mux.Session, role string) {
+	ins := b.ins.Load()
+	if role == "dial" {
+		ins.muxSessDial.Inc()
+	} else {
+		ins.muxSessAccept.Inc()
+	}
+	b.muxMu.Lock()
+	b.muxAll[sess] = struct{}{}
+	b.muxMu.Unlock()
+	n := b.muxLiveSessions.Add(1)
+	ins.muxSessionsLive.Set(n)
+	b.noteMuxStreams(b.muxLiveStreams.Load())
+	select {
+	case <-b.closedCh:
+		// Lost the race against Close; tear the session down ourselves.
+		sess.Close()
+	default:
+	}
+	go func() {
+		<-sess.Done()
+		b.muxMu.Lock()
+		delete(b.muxAll, sess)
+		b.muxMu.Unlock()
+		n := b.muxLiveSessions.Add(-1)
+		ins := b.ins.Load()
+		ins.muxSessionsLive.Set(n)
+		b.noteMuxStreams(b.muxLiveStreams.Load())
+	}()
+}
+
+// serveMuxSession feeds every inbound stream of a session to the same
+// rendezvous path a dedicated TCP connection would have taken.
+func (b *Broker) serveMuxSession(sess *mux.Session) {
+	for {
+		st, err := sess.AcceptStream()
+		if err != nil {
+			return
+		}
+		go b.handleChannelConn(st)
+	}
+}
+
+// closeMuxSessions tears down every live session; part of Broker.Close,
+// after which the peer-pair sockets are returned to the OS.
+func (b *Broker) closeMuxSessions() {
+	b.muxMu.Lock()
+	sessions := make([]*mux.Session, 0, len(b.muxAll))
+	for s := range b.muxAll {
+		sessions = append(sessions, s)
+	}
+	b.muxAll = make(map[*mux.Session]struct{})
+	b.muxSess = make(map[string]*muxEntry)
+	b.muxMu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+}
+
+// prefixConn replays already-consumed bytes (the accept path's peek at
+// the first byte) ahead of the live connection.
+type prefixConn struct {
+	net.Conn
+	prefix []byte
+}
+
+func (p *prefixConn) Read(b []byte) (int, error) {
+	if len(p.prefix) > 0 {
+		n := copy(b, p.prefix)
+		p.prefix = p.prefix[n:]
+		return n, nil
+	}
+	return p.Conn.Read(b)
+}
+
+// CloseWrite forwards the half-close capability embedding would hide
+// (the promoted method set of an embedded interface is only the
+// interface's), so halfCloseWrite still finds it on legacy conns.
+func (p *prefixConn) CloseWrite() error {
+	type writeCloser interface{ CloseWrite() error }
+	if wc, ok := p.Conn.(writeCloser); ok {
+		return wc.CloseWrite()
+	}
+	return p.Conn.Close()
+}

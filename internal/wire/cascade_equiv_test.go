@@ -111,11 +111,13 @@ func runInproc(t *testing.T, cc cascadeCase) []int64 {
 }
 
 // runTCP exports the collector before execution: the conduit's sink is
-// rebound to the tcp transport and the cascade crosses the wire.
-func runTCP(t *testing.T, cc cascadeCase) []int64 {
+// rebound to the node's network transport (per-channel tcp, or mux
+// virtual streams when newNode enables multiplexing) and the cascade
+// crosses the wire.
+func runTCP(t *testing.T, cc cascadeCase, newNode func(*testing.T) *Node) []int64 {
 	t.Helper()
-	a := newTestNode(t)
-	b := newTestNode(t)
+	a := newNode(t)
+	b := newNode(t)
 	ch := a.Net.NewChannel("eq", 256)
 	src := newSource(cc, ch.Writer())
 	parcel, err := Export(a, b.Broker.Addr(), newCollector(cc, ch.Reader()))
@@ -140,11 +142,11 @@ func runTCP(t *testing.T, cc cascadeCase) []int64 {
 // runTCPRebind additionally migrates the running collector B→C once a
 // quarter of the stream has flowed: the reader-side rebind drains the
 // conduit at a fence, ships the leftover, and resumes on a fresh link.
-func runTCPRebind(t *testing.T, cc cascadeCase) []int64 {
+func runTCPRebind(t *testing.T, cc cascadeCase, newNode func(*testing.T) *Node) []int64 {
 	t.Helper()
-	a := newTestNode(t)
-	b := newTestNode(t)
-	c := newTestNode(t)
+	a := newNode(t)
+	b := newNode(t)
+	c := newNode(t)
 	ch := a.Net.NewChannel("eq", 256)
 	src := newSource(cc, ch.Writer())
 	parcel, err := Export(a, b.Broker.Addr(), newCollector(cc, ch.Reader()))
@@ -377,6 +379,32 @@ func TestCascadeEquivalenceCompressedConduits(t *testing.T) {
 	if dataCSent(ma) == 0 {
 		t.Fatal("rebind deployment never compressed a frame")
 	}
+
+	// Mux: compressed DATA-C frames tunneled through a shared session
+	// must yield the identical stream, with exactly one session per
+	// peer pair underneath.
+	xa, xb := newMuxWireNode(t), newMuxWireNode(t)
+	if got := runBatchTCP(t, xa, xb); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mux deployment diverged: %d elements", len(got))
+	}
+	if dataCSent(xa) == 0 {
+		t.Fatal("mux deployment never compressed a frame")
+	}
+	if xa.Broker.MuxSessions() != 1 || xb.Broker.MuxSessions() != 1 {
+		t.Fatalf("mux deployment sessions: a=%d b=%d, want 1 and 1",
+			xa.Broker.MuxSessions(), xb.Broker.MuxSessions())
+	}
+
+	// Mux with a mid-stream migration: the fence drains and the rebind
+	// lands on a fresh virtual stream (and a fresh session toward the
+	// new host) with sealed blocks in flight.
+	ya, yb, yc := newMuxWireNode(t), newMuxWireNode(t), newMuxWireNode(t)
+	if got := runBatchTCPRebind(t, ya, yb, yc); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mux mid-stream rebind diverged: %d elements", len(got))
+	}
+	if dataCSent(ya) == 0 {
+		t.Fatal("mux rebind deployment never compressed a frame")
+	}
 }
 
 // TestCascadeEquivalenceCompressedChaos reruns the compressed tcp and
@@ -428,13 +456,21 @@ func TestCascadeEquivalenceAcrossTransports(t *testing.T) {
 			if len(inproc) != cc.want {
 				t.Fatalf("inproc collected %d elements, want %d", len(inproc), cc.want)
 			}
-			tcp := runTCP(t, cc)
+			tcp := runTCP(t, cc, newTestNode)
 			if !reflect.DeepEqual(tcp, inproc) {
 				t.Fatalf("tcp deployment diverged: %d elements vs %d", len(tcp), len(inproc))
 			}
-			rebound := runTCPRebind(t, cc)
+			rebound := runTCPRebind(t, cc, newTestNode)
 			if !reflect.DeepEqual(rebound, inproc) {
 				t.Fatalf("mid-stream rebind diverged: %d elements vs %d", len(rebound), len(inproc))
+			}
+			muxed := runTCP(t, cc, newMuxWireNode)
+			if !reflect.DeepEqual(muxed, inproc) {
+				t.Fatalf("mux deployment diverged: %d elements vs %d", len(muxed), len(inproc))
+			}
+			muxRebound := runTCPRebind(t, cc, newMuxWireNode)
+			if !reflect.DeepEqual(muxRebound, inproc) {
+				t.Fatalf("mux mid-stream rebind diverged: %d elements vs %d", len(muxRebound), len(inproc))
 			}
 		})
 	}

@@ -16,6 +16,18 @@
 #                    the schedule): a second failure is reproducible
 #                    — report it with that seed — while a replay
 #                    pass classifies the original failure as flaky.
+#   check.sh -mux    session-multiplexing gate: the mux package's
+#                    handshake/stream/credit unit tests, the broker
+#                    session-pool integration tests (shared sessions,
+#                    legacy interop, auth failure, session-death
+#                    resilience), the FD-bounded mux rendezvous storm,
+#                    and the cascade-equivalence sweep (inproc = tcp =
+#                    mux = mux+compression = mid-migration rebind),
+#                    all under -race. On failure the logged seed is
+#                    replayed once (CHAOS_SEED / WORKLOAD_SEED pin the
+#                    schedule): a second failure is reproducible —
+#                    report it with that seed — while a replay pass
+#                    classifies the original failure as flaky.
 #   check.sh -pool   elasticity gate: the pool/elastic suites (worker
 #                    join/leave/kill, straggler re-dispatch, lane
 #                    migration) plus the hardened Scatter/Gather close
@@ -301,6 +313,40 @@ if [ "${1:-}" = "-wal" ]; then
 	exit 1
 fi
 
+if [ "${1:-}" = "-mux" ]; then
+	fail=0
+	# The mux substrate itself: handshake auth, stream framing, credit
+	# windows, deadlines, keepalive, fair interleaving.
+	echo "mux gate: go test -race -count=1 ./internal/netio/mux"
+	go test -race -count=1 -timeout 10m ./internal/netio/mux || fail=1
+	[ "$fail" -eq 0 ] || { echo "mux gate: FAIL"; exit 1; }
+	# The layers above: broker session pooling, transport composition,
+	# the FD-bounded storm, and stream equivalence across deployments.
+	pat='(Mux|CascadeEquivalence)'
+	log=$(mktemp)
+	trap 'rm -f "$log"' EXIT
+	echo "mux gate: go test -race -run '$pat' -count=1 ./..."
+	if go test -race -run "$pat" -count=1 -timeout 15m ./... 2>&1 | tee "$log"; then
+		echo "mux gate: PASS"
+		exit 0
+	fi
+	seed=$(grep -Eo 'chaos seed [0-9]+' "$log" | tail -n 1 | grep -Eo '[0-9]+' || true)
+	wseed=$(grep -Eo 'workload seed -?[0-9]+' "$log" | tail -n 1 | grep -Eo '\-?[0-9]+' || true)
+	if [ -z "$seed" ] && [ -z "$wseed" ]; then
+		echo "mux gate: FAIL (no 'chaos seed N' or 'workload seed N' line logged; not replayable)"
+		exit 1
+	fi
+	pkgs=$(grep -E '^(FAIL|---[ ]FAIL)' "$log" | grep -Eo '\bdpn/[a-z/]+' | sort -u || true)
+	[ -n "$pkgs" ] || pkgs=./...
+	echo "mux gate: FAIL — replaying with CHAOS_SEED=${seed:-unset} WORKLOAD_SEED=${wseed:-unset}: $pkgs"
+	if CHAOS_SEED="$seed" WORKLOAD_SEED="$wseed" go test -race -run "$pat" -count=1 $pkgs; then
+		echo "mux gate: FLAKY (seeds passed on replay; original failure did not reproduce)"
+		exit 1
+	fi
+	echo "mux gate: REPRODUCIBLE — rerun with CHAOS_SEED=$seed WORKLOAD_SEED=$wseed to debug"
+	exit 1
+fi
+
 if [ "${1:-}" = "-pool" ]; then
 	pat='(Pool|Elastic|StaggeredClose|TornBlock|DeadLane|GatherAllClosed|GatherCorrupt|DirectBadIndex|WorkerKilled|BatchedRead|BatchedFloat)'
 	echo "pool gate: go test -race -run '$pat' -count=1 ./..."
@@ -320,5 +366,6 @@ set +x
 ./scripts/check.sh -pool
 ./scripts/check.sh -codec
 ./scripts/check.sh -wal
+./scripts/check.sh -mux
 ./scripts/check.sh -chaos
 ./scripts/check.sh -scenarios
